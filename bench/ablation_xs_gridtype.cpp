@@ -1,0 +1,60 @@
+// Ablation: XSBench's three lookup acceleration structures under ensemble
+// execution. Real XSBench offers the same trade: the unionized grid buys
+// the fastest lookup with an O(n_union × n_isotopes) index table, the hash
+// grid bounds the search with a small table, and the plain nuclide grid
+// pays a full binary search per (nuclide, lookup). Since every structure
+// locates the same bracketing index, all runs verify against one host
+// reference hash.
+#include <cstdio>
+
+#include "apps/common.h"
+#include "apps/xsbench.h"
+#include "ensemble/experiment.h"
+#include "support/str.h"
+#include "support/units.h"
+
+using namespace dgc;
+
+int main() {
+  apps::RegisterAllApps();
+  std::printf("XSBench grid types: 32-instance ensembles, thread limit 32\n");
+  std::printf("%-12s %-14s %-12s %-12s %s\n", "grid", "bytes/instance",
+              "T1 cycles", "T32 cycles", "speedup@32");
+
+  for (apps::XsGridType type :
+       {apps::XsGridType::kUnionized, apps::XsGridType::kHash,
+        apps::XsGridType::kNuclide}) {
+    ensemble::ExperimentConfig cfg;
+    cfg.app = "xsbench";
+    cfg.args_for_instance = [type](std::uint32_t i) {
+      return std::vector<std::string>{
+          "-i", "24", "-g", "256", "-l", "2048",
+          "-G", std::string(apps::ToString(type)),
+          "-s", StrFormat("%u", i + 1)};
+    };
+    cfg.instance_counts = {1, 32};
+    cfg.thread_limit = 32;
+    cfg.spec = sim::DeviceSpec::A100_40GB(512);
+    auto series = ensemble::MeasureSpeedup(cfg);
+    if (!series.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n",
+                   std::string(apps::ToString(type)).c_str(),
+                   series.status().ToString().c_str());
+      return 1;
+    }
+    apps::XsParams p;
+    p.n_isotopes = 24;
+    p.n_gridpoints = 256;
+    p.n_lookups = 2048;
+    p.grid_type = type;
+    std::printf("%-12s %-14s %-12llu %-12llu %.2f\n",
+                std::string(apps::ToString(type)).c_str(),
+                FormatBytes(p.DeviceBytes()).c_str(),
+                (unsigned long long)series->points[0].cycles,
+                (unsigned long long)series->points[1].cycles,
+                series->points[1].speedup);
+  }
+  std::printf("\nsmaller acceleration tables trade per-lookup search work "
+              "for ensemble memory headroom\n");
+  return 0;
+}

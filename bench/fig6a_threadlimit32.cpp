@@ -1,0 +1,13 @@
+// Reproduces Figure 6a: ensemble speedup with thread limit 32 (one warp
+// per instance — the hardware scheduler's smallest unit, §4.2).
+#include "fig6_common.h"
+
+int main() {
+  const std::uint32_t kThreadLimit = 32;
+  auto series = dgc::bench::RunFig6Panel(kThreadLimit);
+  dgc::bench::CheckPanel(series, kThreadLimit);
+  dgc::bench::PrintPanel(series, kThreadLimit);
+  dgc::bench::ExportPanelCsv(series, kThreadLimit);
+  std::printf("\nqualitative checks: PASS\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "apps/common.h"
+
+#include "apps/amgmk.h"
+#include "apps/pagerank.h"
+#include "apps/rsbench.h"
+#include "apps/xsbench.h"
+
+namespace dgc::apps {
+
+std::vector<std::string> ExtractArgs(int argc, dgcf::DeviceArgv argv) {
+  std::vector<std::string> out;
+  out.reserve(std::size_t(argc));
+  for (int i = 0; i < argc; ++i) {
+    out.push_back(dgcf::DeviceLibc::ToString(argv[i]));
+  }
+  return out;
+}
+
+std::vector<std::string> ExtractOptionArgs(int argc, dgcf::DeviceArgv argv) {
+  std::vector<std::string> out;
+  out.reserve(argc > 0 ? std::size_t(argc) - 1 : 0);
+  for (int i = 1; i < argc; ++i) {
+    out.push_back(dgcf::DeviceLibc::ToString(argv[i]));
+  }
+  return out;
+}
+
+std::uint64_t HashCombine(std::uint64_t h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void RegisterAllApps() {
+  RegisterXsbench();
+  RegisterRsbench();
+  RegisterAmgmk();
+  RegisterPagerank();
+}
+
+}  // namespace dgc::apps

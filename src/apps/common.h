@@ -1,0 +1,31 @@
+// Shared helpers for the device-compiled mini-apps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dgcf/app.h"
+#include "dgcf/libc.h"
+#include "support/status.h"
+
+namespace dgc::apps {
+
+/// Copies a device argv into host strings (an untimed setup path; see
+/// dgcf/libc.h). Includes argv[0].
+std::vector<std::string> ExtractArgs(int argc, dgcf::DeviceArgv argv);
+
+/// Like ExtractArgs but without argv[0] — the form ArgParser expects.
+std::vector<std::string> ExtractOptionArgs(int argc, dgcf::DeviceArgv argv);
+
+/// FNV-1a, used for the apps' verification checksums — matching the proxy
+/// apps' habit of printing a verification hash of all results.
+std::uint64_t HashCombine(std::uint64_t h, std::uint64_t v);
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+/// Registers every bundled application with the AppRegistry. Idempotent.
+/// Call from tests/benches/examples before using app names — static
+/// registration alone can be dropped by the linker for static libraries.
+void RegisterAllApps();
+
+}  // namespace dgc::apps

@@ -1,0 +1,32 @@
+#include "dgcf/app.h"
+
+namespace dgc::dgcf {
+
+AppRegistry& AppRegistry::Instance() {
+  static AppRegistry registry;
+  return registry;
+}
+
+bool AppRegistry::Register(AppInfo info) {
+  auto [it, inserted] = apps_.insert_or_assign(info.name, std::move(info));
+  (void)it;
+  return inserted;
+}
+
+StatusOr<const AppInfo*> AppRegistry::Find(const std::string& name) const {
+  auto it = apps_.find(name);
+  if (it == apps_.end()) {
+    return Status(ErrorCode::kNotFound,
+                  "no device-compiled application named '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> AppRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(apps_.size());
+  for (const auto& [name, info] : apps_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dgc::dgcf

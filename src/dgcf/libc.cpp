@@ -1,0 +1,100 @@
+#include "dgcf/libc.h"
+
+#include "support/log.h"
+
+namespace dgc::dgcf {
+
+sim::DeviceTask<sim::DeviceBuffer> DeviceLibc::Malloc(sim::ThreadCtx& ctx,
+                                                      std::uint64_t bytes) {
+  co_await ctx.Work(kHeapOpCycles);
+  auto buf = device_.Malloc(bytes);
+  if (!buf.ok()) {
+    ++failed_;
+    DGC_LOG(kInfo) << "device malloc(" << bytes
+                   << ") failed: " << buf.status().ToString();
+    co_return sim::DeviceBuffer{};
+  }
+  ++live_;
+  co_return *buf;
+}
+
+sim::DeviceTask<void> DeviceLibc::Free(sim::ThreadCtx& ctx,
+                                       sim::DeviceAddr addr) {
+  co_await ctx.Work(kHeapOpCycles);
+  if (addr == 0) co_return;
+  if (device_.Free(addr).ok()) --live_;
+}
+
+namespace {
+/// Word-at-a-time span for the mem* routines (8 bytes per slot).
+constexpr std::uint64_t kWordsPerBatch = sim::detail::kMaxGather;
+}  // namespace
+
+sim::DeviceTask<void> DeviceLibc::Memset(sim::ThreadCtx& ctx,
+                                         sim::DevicePtr<std::uint8_t> dst,
+                                         std::uint8_t value,
+                                         std::uint64_t bytes) {
+  std::uint64_t word = 0;
+  for (int b = 0; b < 8; ++b) word = (word << 8) | value;
+  std::uint64_t i = 0;
+  // Bulk: 8-byte stores in pipelined batches.
+  auto dst64 = dst.Cast<std::uint64_t>();
+  const std::uint64_t words = bytes / 8;
+  while (i < words) {
+    auto s = ctx.Scatter<std::uint64_t>();
+    const std::uint64_t chunk = std::min(words - i, kWordsPerBatch);
+    for (std::uint64_t j = 0; j < chunk; ++j) {
+      s.Add(dst64 + std::ptrdiff_t(i + j), word);
+    }
+    co_await s;
+    i += chunk;
+  }
+  // Tail bytes.
+  for (std::uint64_t t = words * 8; t < bytes; ++t) {
+    co_await ctx.Store(dst + std::ptrdiff_t(t), value);
+  }
+}
+
+sim::DeviceTask<void> DeviceLibc::Memcpy(sim::ThreadCtx& ctx,
+                                         sim::DevicePtr<std::uint8_t> dst,
+                                         sim::DevicePtr<std::uint8_t> src,
+                                         std::uint64_t bytes) {
+  auto dst64 = dst.Cast<std::uint64_t>();
+  auto src64 = src.Cast<std::uint64_t>();
+  const std::uint64_t words = bytes / 8;
+  std::uint64_t i = 0;
+  while (i < words) {
+    const std::uint64_t chunk = std::min(words - i, kWordsPerBatch);
+    auto g = ctx.LoadRun(src64 + std::ptrdiff_t(i), std::uint32_t(chunk));
+    co_await g;
+    auto s = ctx.Scatter<std::uint64_t>();
+    for (std::uint64_t j = 0; j < chunk; ++j) {
+      s.Add(dst64 + std::ptrdiff_t(i + j), g.Result(std::uint32_t(j)));
+    }
+    co_await s;
+    i += chunk;
+  }
+  for (std::uint64_t t = words * 8; t < bytes; ++t) {
+    const std::uint8_t v = co_await ctx.Load(src + std::ptrdiff_t(t));
+    co_await ctx.Store(dst + std::ptrdiff_t(t), v);
+  }
+}
+
+std::uint64_t DeviceLibc::StrLen(sim::DevicePtr<char> s) {
+  std::uint64_t n = 0;
+  while (s.host[n] != '\0') ++n;
+  return n;
+}
+
+int DeviceLibc::StrCmp(sim::DevicePtr<char> a, const char* b) {
+  std::uint64_t i = 0;
+  while (a.host[i] != '\0' && a.host[i] == b[i]) ++i;
+  return int(static_cast<unsigned char>(a.host[i])) -
+         int(static_cast<unsigned char>(b[i]));
+}
+
+std::string DeviceLibc::ToString(sim::DevicePtr<char> s) {
+  return std::string(s.host, StrLen(s));
+}
+
+}  // namespace dgc::dgcf

@@ -1,0 +1,69 @@
+// Partial device libc.
+//
+// Direct GPU compilation ships a partial libc as device code ([26], Fig. 2)
+// so that ordinary host programs link and run: a device heap, string and
+// conversion routines (used by argument parsing in `__user_main`), and
+// printf via the host RPC. String helpers here operate on device pointers
+// through their host backing; they are *untimed* by design — they run in
+// per-instance setup code whose cost is negligible next to the kernels —
+// while heap operations charge an allocation cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/ctx.h"
+#include "gpusim/device.h"
+#include "gpusim/task.h"
+#include "support/status.h"
+
+namespace dgc::dgcf {
+
+class DeviceLibc {
+ public:
+  explicit DeviceLibc(sim::Device& device) : device_(device) {}
+
+  DeviceLibc(const DeviceLibc&) = delete;
+  DeviceLibc& operator=(const DeviceLibc&) = delete;
+
+  /// Device-side malloc: charges the allocation cost and returns the
+  /// buffer, or a null buffer (host == nullptr) on out-of-memory — the
+  /// C-malloc contract; callers must check. This is how ensemble instances
+  /// contend for device memory capacity (the paper's Page-Rank limit).
+  sim::DeviceTask<sim::DeviceBuffer> Malloc(sim::ThreadCtx& ctx,
+                                            std::uint64_t bytes);
+
+  /// Device-side free. Freeing a null/unknown address is a no-op, like C.
+  sim::DeviceTask<void> Free(sim::ThreadCtx& ctx, sim::DeviceAddr addr);
+
+  std::uint64_t live_allocations() const { return live_; }
+  std::uint64_t failed_allocations() const { return failed_; }
+
+  /// Timed memset over device memory: issued as pipelined store batches
+  /// (the memory traffic a device-side memset loop generates).
+  static sim::DeviceTask<void> Memset(sim::ThreadCtx& ctx,
+                                      sim::DevicePtr<std::uint8_t> dst,
+                                      std::uint8_t value, std::uint64_t bytes);
+
+  /// Timed device-to-device memcpy: gather + scatter batches.
+  static sim::DeviceTask<void> Memcpy(sim::ThreadCtx& ctx,
+                                      sim::DevicePtr<std::uint8_t> dst,
+                                      sim::DevicePtr<std::uint8_t> src,
+                                      std::uint64_t bytes);
+
+  // --- String routines over device pointers (untimed setup-path helpers) ---
+  static std::uint64_t StrLen(sim::DevicePtr<char> s);
+  static int StrCmp(sim::DevicePtr<char> a, const char* b);
+  static std::string ToString(sim::DevicePtr<char> s);
+
+  /// Cost charged per Malloc/Free call, in device cycles (the deviceRTL
+  /// heap lock + bookkeeping).
+  static constexpr std::uint64_t kHeapOpCycles = 400;
+
+ private:
+  sim::Device& device_;
+  std::uint64_t live_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace dgc::dgcf

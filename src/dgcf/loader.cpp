@@ -1,0 +1,48 @@
+#include "dgcf/loader.h"
+
+#include "dgcf/argv.h"
+#include "gpusim/device.h"
+#include "ompx/league.h"
+
+namespace dgc::dgcf {
+
+StatusOr<RunResult> RunSingleInstance(AppEnv& env,
+                                      const SingleRunOptions& options) {
+  DGC_CHECK(env.device != nullptr);
+  DGC_ASSIGN_OR_RETURN(const AppInfo* app,
+                       AppRegistry::Instance().Find(options.app));
+
+  std::vector<std::string> argv_row;
+  argv_row.reserve(options.args.size() + 1);
+  argv_row.push_back(options.app);
+  argv_row.insert(argv_row.end(), options.args.begin(), options.args.end());
+  DGC_ASSIGN_OR_RETURN(ArgvBlock argv, ArgvBlock::Build(*env.device, {argv_row}));
+
+  RunResult run;
+  run.instances.resize(1);
+  run.transfer_cycles = argv.transfer_cycles();
+
+  ompx::TeamsConfig cfg;
+  cfg.num_teams = 1;  // single-team execution preserves host semantics
+  cfg.thread_limit = options.thread_limit;
+  cfg.name = "single-instance";
+
+  InstanceResult& inst = run.instances[0];
+  auto result = ompx::LaunchTeams(
+      *env.device, cfg,
+      [&](ompx::TeamCtx& team) -> sim::DeviceTask<void> {
+        inst.exit_code =
+            co_await app->user_main(env, team, argv.argc(0), argv.argv(0));
+        inst.completed = true;
+      });
+  DGC_RETURN_IF_ERROR(result.status());
+
+  run.kernel_cycles = result->cycles;
+  run.stats = result->stats;
+  run.failures = std::move(result->failures);
+  // Mapping back the Ret value (map(from:Ret[:1])).
+  run.transfer_cycles += sim::TransferCycles(env.device->spec(), sizeof(int));
+  return run;
+}
+
+}  // namespace dgc::dgcf

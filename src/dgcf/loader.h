@@ -1,0 +1,55 @@
+// The single-instance loader — the main wrapper of the original direct GPU
+// compilation framework ([26], §2.2).
+//
+// It is the baseline the paper's evaluation measures T1 against: map the
+// command line to the device, launch ONE team (single-team semantics keep
+// host behaviour), call `__user_main`, and map the exit code back. The
+// ensemble loader (ensemble/loader.h) extends this to NI instances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dgcf/app.h"
+#include "gpusim/stats.h"
+#include "support/status.h"
+
+namespace dgc::dgcf {
+
+/// Outcome of one application instance.
+struct InstanceResult {
+  int exit_code = 0;
+  /// False when the instance's initial thread died with an exception
+  /// instead of returning from __user_main.
+  bool completed = false;
+};
+
+/// Outcome of a loader run (single instance or ensemble).
+struct RunResult {
+  std::vector<InstanceResult> instances;
+  std::uint64_t kernel_cycles = 0;    ///< device execution incl. launch
+  std::uint64_t transfer_cycles = 0;  ///< argv mapping + result map(from:)
+  sim::LaunchStats stats;
+  std::vector<std::string> failures;
+
+  std::uint64_t total_cycles() const { return kernel_cycles + transfer_cycles; }
+  bool all_ok() const {
+    for (const InstanceResult& r : instances) {
+      if (!r.completed || r.exit_code != 0) return false;
+    }
+    return !instances.empty();
+  }
+};
+
+struct SingleRunOptions {
+  std::string app;                 ///< registered application name
+  std::vector<std::string> args;   ///< argv[1..]; argv[0] is the app name
+  std::uint32_t thread_limit = 1024;
+};
+
+/// Runs one instance on one team, as the original framework does.
+StatusOr<RunResult> RunSingleInstance(AppEnv& env,
+                                      const SingleRunOptions& options);
+
+}  // namespace dgc::dgcf

@@ -1,0 +1,141 @@
+#include "ensemble/experiment.h"
+
+#include <fstream>
+
+#include "dgcf/libc.h"
+#include "dgcf/loader.h"
+#include "dgcf/rpc.h"
+#include "ensemble/loader.h"
+#include "gpusim/device.h"
+#include "support/str.h"
+
+namespace dgc::ensemble {
+
+double SpeedupSeries::MaxSpeedup() const {
+  double best = 0;
+  for (const SpeedupPoint& p : points) {
+    if (p.ran) best = std::max(best, p.speedup);
+  }
+  return best;
+}
+
+StatusOr<SpeedupSeries> MeasureSpeedup(const ExperimentConfig& config) {
+  if (config.instance_counts.empty() || config.instance_counts[0] != 1) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "instance_counts must start with 1 (defines T1)");
+  }
+  if (!config.args_for_instance) {
+    return Status(ErrorCode::kInvalidArgument, "args_for_instance is required");
+  }
+
+  SpeedupSeries series;
+  series.app = config.app;
+  series.thread_limit = config.thread_limit;
+
+  std::uint64_t t1 = 0;
+  for (std::uint32_t n : config.instance_counts) {
+    SpeedupPoint point;
+    point.instances = n;
+
+    // A fresh device per configuration: the paper times independent runs.
+    sim::Device device(config.spec);
+    dgcf::RpcHost rpc(device);
+    dgcf::DeviceLibc libc(device);
+    dgcf::AppEnv env{&device, &rpc, &libc};
+
+    EnsembleOptions options;
+    options.app = config.app;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      options.instance_args.push_back(config.args_for_instance(i));
+    }
+    options.thread_limit = config.thread_limit;
+    options.teams_per_block = config.teams_per_block;
+
+    auto run = RunEnsemble(env, options);
+    if (!run.ok()) {
+      if (run.status().code() == ErrorCode::kOutOfMemory) {
+        point.note = "out of device memory";
+        series.points.push_back(std::move(point));
+        continue;
+      }
+      return run.status();
+    }
+    bool oom = false;
+    for (const dgcf::InstanceResult& inst : run->instances) {
+      if (inst.completed && inst.exit_code == dgcf::kExitNoMem) oom = true;
+    }
+    if (oom) {
+      // The paper's Page-Rank case: the configuration does not fit in
+      // device memory, so the point is absent from the figure.
+      point.note = "out of device memory";
+      series.points.push_back(std::move(point));
+      continue;
+    }
+    if (!run->all_ok()) {
+      std::string detail =
+          run->failures.empty() ? "nonzero exit code" : run->failures[0];
+      return Status(ErrorCode::kInternal,
+                    StrFormat("%s with %u instances failed: %s",
+                              config.app.c_str(), n, detail.c_str()));
+    }
+
+    point.ran = true;
+    point.cycles = run->kernel_cycles;
+    point.stats = run->stats;
+    if (n == 1) t1 = point.cycles;
+    point.speedup = double(t1) * double(n) / double(point.cycles);
+    series.points.push_back(std::move(point));
+  }
+  return series;
+}
+
+std::string FormatSpeedupTable(const std::vector<SpeedupSeries>& series) {
+  if (series.empty()) return "(no series)\n";
+  std::string out = StrFormat("%-12s", "benchmark");
+  for (const SpeedupPoint& p : series[0].points) {
+    out += StrFormat(" %8u", p.instances);
+  }
+  out += "\n";
+  out += StrFormat("%-12s", "Linear");
+  for (const SpeedupPoint& p : series[0].points) {
+    out += StrFormat(" %8u", p.instances);
+  }
+  out += "\n";
+  for (const SpeedupSeries& s : series) {
+    out += StrFormat("%-12s", s.app.c_str());
+    for (const SpeedupPoint& p : s.points) {
+      if (p.ran) {
+        out += StrFormat(" %8.2f", p.speedup);
+      } else {
+        out += StrFormat(" %8s", "-");
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+
+std::string FormatSpeedupCsv(const std::vector<SpeedupSeries>& series) {
+  std::string out = "benchmark,thread_limit,instances,ran,cycles,speedup\n";
+  for (const SpeedupSeries& s : series) {
+    for (const SpeedupPoint& p : s.points) {
+      out += StrFormat("%s,%u,%u,%d,%llu,%.6f\n", s.app.c_str(),
+                       s.thread_limit, p.instances, int(p.ran),
+                       (unsigned long long)p.cycles, p.speedup);
+    }
+  }
+  return out;
+}
+
+Status WriteSpeedupCsv(const std::vector<SpeedupSeries>& series,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status(ErrorCode::kInvalidArgument, "cannot write " + path);
+  }
+  out << FormatSpeedupCsv(series);
+  return Status::Ok();
+}
+
+}  // namespace dgc::ensemble

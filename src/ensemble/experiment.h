@@ -1,0 +1,63 @@
+// Evaluation harness for the paper's Fig. 6 methodology (§4.2/§4.3):
+// run N ∈ {1,2,4,...} concurrent instances, each team executing one
+// instance, and report relative speedup T1·N / TN.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpusim/device_spec.h"
+#include "gpusim/stats.h"
+#include "support/status.h"
+
+namespace dgc::ensemble {
+
+struct ExperimentConfig {
+  std::string app;
+  /// Builds instance i's argv[1..] — each instance runs on a different
+  /// input, as ensembles do.
+  std::function<std::vector<std::string>(std::uint32_t)> args_for_instance;
+  std::vector<std::uint32_t> instance_counts{1, 2, 4, 8, 16, 32, 64};
+  std::uint32_t thread_limit = 32;
+  std::uint32_t teams_per_block = 1;  ///< §3.1 mapping (1 = paper)
+  sim::DeviceSpec spec;               ///< fresh device per measurement
+};
+
+struct SpeedupPoint {
+  std::uint32_t instances = 0;
+  bool ran = false;        ///< false: configuration skipped (e.g. OOM)
+  std::string note;        ///< skip reason
+  std::uint64_t cycles = 0;  ///< TN, kernel execution cycles
+  double speedup = 0.0;      ///< T1 · N / TN
+  sim::LaunchStats stats;
+};
+
+struct SpeedupSeries {
+  std::string app;
+  std::uint32_t thread_limit = 0;
+  std::vector<SpeedupPoint> points;
+
+  /// Largest measured speedup (the paper's "up to 51X" headline).
+  double MaxSpeedup() const;
+};
+
+/// Runs the sweep. The first count must be 1 (it defines T1). A
+/// configuration whose instances cannot all allocate (device OOM) is
+/// recorded as ran=false — the paper's Page-Rank case.
+StatusOr<SpeedupSeries> MeasureSpeedup(const ExperimentConfig& config);
+
+/// Renders one or more series as the paper-style text table: one column
+/// per instance count, one row per benchmark, plus the Linear bound row.
+std::string FormatSpeedupTable(const std::vector<SpeedupSeries>& series);
+
+/// CSV form of the series (one row per benchmark×count) for plotting:
+/// benchmark,thread_limit,instances,ran,cycles,speedup
+std::string FormatSpeedupCsv(const std::vector<SpeedupSeries>& series);
+
+/// Writes the CSV to a file (overwrites).
+Status WriteSpeedupCsv(const std::vector<SpeedupSeries>& series,
+                       const std::string& path);
+
+}  // namespace dgc::ensemble

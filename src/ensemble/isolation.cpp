@@ -1,0 +1,97 @@
+#include "ensemble/isolation.h"
+
+#include <cstring>
+
+#include "support/log.h"
+#include "support/str.h"
+
+namespace dgc::ensemble {
+
+Status IsolatedGlobals::Declare(std::string name, std::uint64_t bytes,
+                                const void* init) {
+  if (materialized_) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "cannot declare globals after Materialize");
+  }
+  if (bytes == 0) {
+    return Status(ErrorCode::kInvalidArgument, "zero-sized global");
+  }
+  if (offsets_.count(name) != 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "global '" + name + "' declared twice");
+  }
+  Declaration decl;
+  decl.bytes = bytes;
+  if (init != nullptr) {
+    decl.init.resize(bytes);
+    std::memcpy(decl.init.data(), init, bytes);
+  }
+  // 16-byte alignment within the segment keeps any scalar type aligned.
+  total_bytes_ = (total_bytes_ + 15) & ~std::uint64_t(15);
+  offsets_.emplace(name, total_bytes_);
+  total_bytes_ += bytes;
+  decls_.emplace_back(std::move(name), std::move(decl));
+  return Status::Ok();
+}
+
+Status IsolatedGlobals::Materialize(sim::Device& device,
+                                    std::uint32_t instances,
+                                    GlobalsMode mode) {
+  if (materialized_) {
+    return Status(ErrorCode::kFailedPrecondition, "already materialized");
+  }
+  if (instances == 0) {
+    return Status(ErrorCode::kInvalidArgument, "need at least one instance");
+  }
+  if (decls_.empty()) {
+    return Status(ErrorCode::kFailedPrecondition, "no globals declared");
+  }
+  mode_ = mode;
+  const std::uint32_t replicas =
+      mode == GlobalsMode::kIsolated ? instances : 1;
+  segments_.reserve(replicas);
+  for (std::uint32_t r = 0; r < replicas; ++r) {
+    auto seg = device.Malloc(total_bytes_);
+    if (!seg.ok()) {
+      Release(device);
+      return Status(seg.status().code(),
+                    StrFormat("globals replica %u: %s", r,
+                              seg.status().message().c_str()));
+    }
+    std::memset(seg->host, 0, seg->bytes);
+    for (const auto& [name, decl] : decls_) {
+      if (!decl.init.empty()) {
+        std::memcpy(seg->host + offsets_.at(name), decl.init.data(),
+                    decl.bytes);
+      }
+    }
+    segments_.push_back(*seg);
+  }
+  materialized_ = true;
+  return Status::Ok();
+}
+
+StatusOr<sim::DeviceBuffer> IsolatedGlobals::Segment(
+    std::uint32_t instance) const {
+  if (!materialized_) {
+    return Status(ErrorCode::kFailedPrecondition, "globals not materialized");
+  }
+  if (mode_ == GlobalsMode::kShared) return segments_[0];
+  if (instance >= segments_.size()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  StrFormat("instance %u out of range (%zu replicas)",
+                            instance, segments_.size()));
+  }
+  return segments_[instance];
+}
+
+void IsolatedGlobals::Release(sim::Device& device) {
+  for (const sim::DeviceBuffer& seg : segments_) {
+    const Status s = device.Free(seg.addr);
+    if (!s.ok()) DGC_LOG(kError) << "globals teardown: " << s.ToString();
+  }
+  segments_.clear();
+  materialized_ = false;
+}
+
+}  // namespace dgc::ensemble

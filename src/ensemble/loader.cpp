@@ -1,0 +1,137 @@
+#include "ensemble/loader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "dgcf/argv.h"
+#include "ensemble/argfile.h"
+#include "ensemble/argscript.h"
+#include "gpusim/device.h"
+#include "ompx/league.h"
+#include "support/argparse.h"
+#include "support/str.h"
+
+namespace dgc::ensemble {
+
+StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
+                                      const EnsembleOptions& options) {
+  DGC_CHECK(env.device != nullptr);
+  DGC_ASSIGN_OR_RETURN(const dgcf::AppInfo* app,
+                       dgcf::AppRegistry::Instance().Find(options.app));
+  if (options.instance_args.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "no instance argument lines");
+  }
+
+  const std::uint32_t available = std::uint32_t(options.instance_args.size());
+  const std::uint32_t ni =
+      options.num_instances == 0 ? available : options.num_instances;
+  if (ni > available) {
+    return Status(
+        ErrorCode::kInvalidArgument,
+        StrFormat("requested %u instances but the argument file provides "
+                  "only %u lines",
+                  ni, available));
+  }
+  const std::uint32_t teams = options.num_teams == 0 ? ni : options.num_teams;
+  if (teams > ni) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "more teams than instances is wasteful; reduce --teams");
+  }
+
+  // Build the device-side argument block (Fig. 4's StringCache/Argc/Argv),
+  // prepending argv[0] = app name to every line.
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(ni);
+  for (std::uint32_t i = 0; i < ni; ++i) {
+    std::vector<std::string> row;
+    row.reserve(options.instance_args[i].size() + 1);
+    row.push_back(options.app);
+    row.insert(row.end(), options.instance_args[i].begin(),
+               options.instance_args[i].end());
+    rows.push_back(std::move(row));
+  }
+  DGC_ASSIGN_OR_RETURN(dgcf::ArgvBlock argv,
+                       dgcf::ArgvBlock::Build(*env.device, rows));
+
+  dgcf::RunResult run;
+  run.instances.resize(ni);
+  run.transfer_cycles = argv.transfer_cycles();
+
+  ompx::TeamsConfig cfg;
+  cfg.num_teams = teams;
+  cfg.thread_limit = options.thread_limit;
+  cfg.teams_per_block = options.teams_per_block;
+  cfg.name = "ensemble";
+  cfg.trace = options.trace;
+
+  // The Fig. 4 kernel:  #pragma omp target teams distribute
+  //                     for (I = 0; I < NI; ++I)
+  //                       Ret[I] = __user_main(Argc[I], &Argv[I][0]);
+  // distribute → team t executes iterations t, t+N, t+2N, ...
+  auto result = ompx::LaunchTeams(
+      *env.device, cfg, [&](ompx::TeamCtx& team) -> sim::DeviceTask<void> {
+        for (std::uint32_t i = team.team_id; i < ni; i += teams) {
+          run.instances[i].exit_code =
+              co_await app->user_main(env, team, argv.argc(i), argv.argv(i));
+          run.instances[i].completed = true;
+        }
+      });
+  DGC_RETURN_IF_ERROR(result.status());
+
+  run.kernel_cycles = result->cycles;
+  run.stats = result->stats;
+  run.failures = std::move(result->failures);
+  // map(from:Ret[:NI])
+  run.transfer_cycles +=
+      sim::TransferCycles(env.device->spec(), std::uint64_t(ni) * sizeof(int));
+  return run;
+}
+
+StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
+                                         const std::string& app,
+                                         const std::vector<std::string>& argv,
+                                         sim::Trace* trace) {
+  std::string file;
+  std::int64_t instances = 0, threads = 1024, teams = 0, per_block = 1;
+  std::int64_t seed = 0;
+  bool script = false;
+  ArgParser parser("GPU ensemble loader (paper Fig. 5c)");
+  parser.AddString("file", 'f', "command line arguments file", &file,
+                   /*required=*/true)
+      .AddInt("num-instances", 'n', "instances to launch simultaneously",
+              &instances)
+      .AddInt("thread-limit", 't', "max threads per instance", &threads)
+      .AddInt("teams", 0, "teams (default: one per instance)", &teams)
+      .AddInt("teams-per-block", 'm', "instances per thread block (§3.1)",
+              &per_block)
+      .AddFlag("script", 0, "treat the file as an argument script", &script)
+      .AddInt("seed", 0, "argument-script random seed", &seed);
+  DGC_RETURN_IF_ERROR(parser.Parse(argv));
+  if (instances < 0 || threads <= 0 || teams < 0 || per_block <= 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "counts must be positive (instances/teams may be omitted)");
+  }
+
+  EnsembleOptions options;
+  options.app = app;
+  options.num_instances = std::uint32_t(instances);
+  options.thread_limit = std::uint32_t(threads);
+  options.num_teams = std::uint32_t(teams);
+  options.teams_per_block = std::uint32_t(per_block);
+  options.trace = trace;
+  if (script) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      return Status(ErrorCode::kNotFound, "cannot open script file: " + file);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    DGC_ASSIGN_OR_RETURN(options.instance_args,
+                         ExpandScriptToArgs(buffer.str(), std::uint64_t(seed)));
+  } else {
+    DGC_ASSIGN_OR_RETURN(options.instance_args, LoadArgumentFile(file));
+  }
+  return RunEnsemble(env, options);
+}
+
+}  // namespace dgc::ensemble

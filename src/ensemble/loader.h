@@ -1,0 +1,57 @@
+// The enhanced (ensemble) loader — the paper's core contribution (§3).
+//
+// Extends the single-instance main wrapper to launch NI instances of the
+// application inside ONE kernel: instance I's command line comes from line
+// I of the argument file; each instance is mapped to a team via
+// `target teams distribute num_teams(N) thread_limit(T)` (Fig. 4), and the
+// per-instance exit codes are mapped back (`map(from:Ret[:NI])`).
+//
+// The loader's own command line mirrors Fig. 5c:
+//   user_app_gpu -f arguments.txt -n 4 -t 128
+// plus two extensions: -m (teams per block, §3.1's multi-dimensional
+// mapping) and --teams (decouple N from NI; instances distribute
+// round-robin over teams, exactly the Fig. 4 loop).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dgcf/app.h"
+#include "dgcf/loader.h"
+#include "support/status.h"
+
+namespace dgc::ensemble {
+
+struct EnsembleOptions {
+  std::string app;  ///< registered application name
+  /// Per-instance argv[1..] (from -f, an arg script, or built directly).
+  std::vector<std::vector<std::string>> instance_args;
+  /// Instances to launch (-n). 0 → one per argument line. Must not exceed
+  /// the number of argument lines.
+  std::uint32_t num_instances = 0;
+  /// Thread limit per instance (-t).
+  std::uint32_t thread_limit = 1024;
+  /// Teams (N in Fig. 4). 0 → equal to the instance count (the paper's
+  /// evaluation configuration, §4.2).
+  std::uint32_t num_teams = 0;
+  /// M instances per thread block (§3.1); 1 = the paper's implementation.
+  std::uint32_t teams_per_block = 1;
+  /// Optional instruction trace of the ensemble kernel (gpusim/trace.h).
+  sim::Trace* trace = nullptr;
+};
+
+/// Runs the ensemble. Instance I's exit code lands in result.instances[I].
+StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
+                                      const EnsembleOptions& options);
+
+/// Fig. 5c front end: parses `-f <file> -n <instances> -t <threads>`
+/// (plus -m/--teams/--script) for `app`, loading the argument file through
+/// the host filesystem, then calls RunEnsemble. With --script, the -f file
+/// is treated as an argument script and expanded first.
+StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
+                                         const std::string& app,
+                                         const std::vector<std::string>& argv,
+                                         sim::Trace* trace = nullptr);
+
+}  // namespace dgc::ensemble

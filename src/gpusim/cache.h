@@ -1,0 +1,52 @@
+// Set-associative sector cache with LRU replacement.
+//
+// Used for both the per-SM L1 and the device-wide L2. The cache tracks tags
+// only (the simulator is functional through host memory, so no data is
+// stored); Lookup both queries and updates replacement state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/status.h"
+
+namespace dgc::sim {
+
+class SectorCache {
+ public:
+  /// `capacity_bytes / (sector_bytes * ways)` sets must be a power of two
+  /// is NOT required; we use modulo indexing.
+  SectorCache(std::uint64_t capacity_bytes, std::uint32_t sector_bytes,
+              std::uint32_t ways);
+
+  /// Returns true on hit. On miss the sector is inserted (allocate-on-miss
+  /// for both loads and stores — GPUs write-allocate at the L2).
+  bool Access(std::uint64_t sector);
+
+  /// Hit query without any state change (for tests and stats probes).
+  bool Probe(std::uint64_t sector) const;
+
+  /// Invalidates everything (used between kernel launches when requested).
+  void Clear();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint32_t sets() const { return sets_; }
+  std::uint32_t ways() const { return ways_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = kInvalid;
+    std::uint64_t lru = 0;  ///< last-use stamp
+  };
+  static constexpr std::uint64_t kInvalid = ~std::uint64_t(0);
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::uint64_t stamp_ = 0;
+  std::vector<Way> table_;  ///< sets_ * ways_
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dgc::sim

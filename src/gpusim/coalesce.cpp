@@ -1,0 +1,30 @@
+#include "gpusim/coalesce.h"
+
+#include <algorithm>
+
+namespace dgc::sim {
+
+void CoalesceSectors(std::span<const LaneAccess> accesses,
+                     std::uint32_t sector_bytes,
+                     std::vector<std::uint64_t>& sectors_out) {
+  sectors_out.clear();
+  for (const LaneAccess& a : accesses) {
+    if (a.bytes == 0) continue;
+    const std::uint64_t first = a.addr / sector_bytes;
+    const std::uint64_t last = (a.addr + a.bytes - 1) / sector_bytes;
+    for (std::uint64_t s = first; s <= last; ++s) sectors_out.push_back(s);
+  }
+  std::sort(sectors_out.begin(), sectors_out.end());
+  sectors_out.erase(std::unique(sectors_out.begin(), sectors_out.end()),
+                    sectors_out.end());
+}
+
+std::uint64_t IdealSectorCount(std::span<const LaneAccess> accesses,
+                               std::uint32_t sector_bytes) {
+  std::uint64_t total = 0;
+  for (const LaneAccess& a : accesses) total += a.bytes;
+  if (total == 0) return 0;
+  return (total + sector_bytes - 1) / sector_bytes;
+}
+
+}  // namespace dgc::sim

@@ -1,0 +1,11 @@
+#include "gpusim/ctx.h"
+
+#include "gpusim/block.h"
+
+namespace dgc::sim {
+
+detail::SyncAwaiter ThreadCtx::SyncThreads() const {
+  return detail::SyncAwaiter(block->barrier());
+}
+
+}  // namespace dgc::sim

@@ -1,0 +1,22 @@
+#include "gpusim/engine.h"
+
+#include "gpusim/warp.h"
+
+namespace dgc::sim {
+
+void Engine::Schedule(std::uint64_t t, Warp* warp) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, seq_++, warp});
+}
+
+bool Engine::RunOne() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ++dispatched_;
+  ev.warp->Turn(ev.t);
+  return true;
+}
+
+}  // namespace dgc::sim

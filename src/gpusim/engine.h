@@ -1,0 +1,45 @@
+// Discrete-event engine: a time-ordered queue of warp wake-ups.
+//
+// The only actor type is the warp (everything else — barriers, block
+// completion, SM occupancy — happens synchronously inside warp turns), so
+// the engine stays a minimal priority queue. Ties break by insertion order,
+// which makes every simulation fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace dgc::sim {
+
+class Warp;
+
+class Engine {
+ public:
+  /// Schedules a warp turn no earlier than the current time.
+  void Schedule(std::uint64_t t, Warp* warp);
+
+  /// Pops and dispatches one event; false when the queue is empty.
+  bool RunOne();
+
+  std::uint64_t now() const { return now_; }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    std::uint64_t t;
+    std::uint64_t seq;
+    Warp* warp;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::uint64_t now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace dgc::sim

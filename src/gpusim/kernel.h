@@ -1,0 +1,29 @@
+// Kernel launch configuration and the kernel function type.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "gpusim/address.h"
+#include "gpusim/task.h"
+
+namespace dgc::sim {
+
+class Trace;
+struct ThreadCtx;
+
+/// A kernel is a coroutine entry point invoked once per lane. The same
+/// callable serves every lane; identity comes from the ThreadCtx.
+using KernelFn = std::function<DeviceTask<void>(ThreadCtx&)>;
+
+struct LaunchConfig {
+  Dim3 grid{1, 1, 1};   ///< thread blocks (teams)
+  Dim3 block{32, 1, 1}; ///< threads per block; .y carries multi-dim mapping
+  std::uint32_t shared_bytes = 0;  ///< per-block shared-memory reservation
+  /// Label for diagnostics and stats reports.
+  const char* name = "kernel";
+  /// Optional instruction trace sink (see gpusim/trace.h); null = off.
+  Trace* trace = nullptr;
+};
+
+}  // namespace dgc::sim

@@ -1,0 +1,33 @@
+#include "gpusim/lane.h"
+
+#include "support/status.h"
+
+namespace dgc::sim {
+
+Lane*& CurrentLane() {
+  static Lane* current = nullptr;
+  return current;
+}
+
+Lane::~Lane() {
+  if (root_) root_.destroy();
+}
+
+void Lane::Start(std::coroutine_handle<> root, std::exception_ptr* error_slot) {
+  DGC_CHECK(!root_);
+  root_ = root;
+  top = root;
+  error_slot_ = error_slot;
+}
+
+void Lane::Resume() {
+  DGC_CHECK(state == State::kReady);
+  DGC_CHECK(pending.kind == DeviceOp::Kind::kNone);
+  DGC_CHECK(top && !root_finished_);
+  Lane* prev = CurrentLane();
+  CurrentLane() = this;
+  top.resume();
+  CurrentLane() = prev;
+}
+
+}  // namespace dgc::sim

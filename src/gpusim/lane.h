@@ -1,0 +1,131 @@
+// A lane is one simulated GPU thread.
+//
+// Lanes execute device code as C++20 coroutines: every timed operation
+// (global/shared memory access, compute, barrier, host RPC) is a suspension
+// point. The warp scheduler resumes its lanes in lockstep, collects the
+// pending operations, and charges the timing model — see warp.h.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpusim/address.h"
+
+namespace dgc::sim {
+
+class Barrier;
+class Block;
+class Warp;
+struct ThreadCtx;
+
+/// Bit-level helpers for transporting values (≤ 8 bytes) through DeviceOp.
+template <typename T>
+std::uint64_t ToBits(T v) {
+  static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(T));
+  return b;
+}
+
+template <typename T>
+T FromBits(std::uint64_t b) {
+  static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+  T v;
+  std::memcpy(&v, &b, sizeof(T));
+  return v;
+}
+
+/// One element of a batched (pipelined) load — see ThreadCtx::Gather.
+struct BatchSlot {
+  DeviceAddr addr = 0;
+  void* host = nullptr;
+  std::uint64_t result = 0;
+  std::uint8_t bytes = 0;
+};
+
+/// One pending device operation of a suspended lane.
+struct DeviceOp {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kLoad,
+    kLoadBatch,   ///< independent loads issued together (MLP / streaming)
+    kStore,
+    kStoreBatch,  ///< independent stores issued together
+    kAtomic,
+    kWork,      ///< pure compute for `cycles`
+    kSync,      ///< barrier arrival
+    kExternal,  ///< host callback (RPC); pays `cycles` per call
+  };
+
+  Kind kind = Kind::kNone;
+  std::uint8_t bytes = 0;
+  DeviceAddr addr = 0;
+  void* host = nullptr;
+  std::uint64_t bits = 0;    ///< store value / atomic operand
+  std::uint64_t result = 0;  ///< load result / atomic old value / RPC result
+  std::uint64_t cycles = 0;  ///< work duration or external latency
+  /// Atomic read-modify-write, applied at issue time in lane order.
+  std::uint64_t (*apply)(void* host, std::uint64_t operand) = nullptr;
+  Barrier* barrier = nullptr;
+  std::function<std::uint64_t()>* external = nullptr;
+  /// kLoadBatch: the awaiter-owned slots (stable across the suspension).
+  BatchSlot* batch = nullptr;
+  std::uint32_t batch_count = 0;
+};
+
+class Lane {
+ public:
+  enum class State : std::uint8_t { kReady, kBlocked, kDone, kFailed };
+
+  Lane() = default;
+  Lane(const Lane&) = delete;
+  Lane& operator=(const Lane&) = delete;
+  ~Lane();
+
+  /// Adopts the root coroutine (already created, suspended at its initial
+  /// suspend point). `error_slot` points at the root promise's exception
+  /// slot so failures can be reported after completion.
+  void Start(std::coroutine_handle<> root, std::exception_ptr* error_slot);
+
+  /// Resumes the innermost active coroutine until the next suspension.
+  void Resume();
+
+  bool root_finished() const { return root_finished_; }
+  std::exception_ptr root_error() const {
+    return error_slot_ != nullptr ? *error_slot_ : nullptr;
+  }
+
+  // --- Scheduler state (owned by Warp/Block/Barrier) ------------------------
+  State state = State::kReady;
+  std::uint64_t ready_at = 0;
+  DeviceOp pending;
+  /// Result of the most recently issued op (read by the awaiter on resume;
+  /// survives the warp clearing `pending`).
+  std::uint64_t pending_result = 0;
+  std::coroutine_handle<> top;  ///< innermost resumable coroutine
+  Warp* warp = nullptr;
+  Block* block = nullptr;
+  ThreadCtx* ctx = nullptr;
+  std::uint32_t thread_id = 0;  ///< linear id within the block
+  std::vector<Barrier*> memberships;  ///< barriers counting this lane
+
+  /// Set by the root coroutine's final awaiter.
+  void MarkRootFinished() { root_finished_ = true; }
+
+ private:
+  std::coroutine_handle<> root_;
+  std::exception_ptr* error_slot_ = nullptr;
+  bool root_finished_ = false;
+};
+
+/// The lane currently being resumed (the simulator is single-threaded, so a
+/// process-wide slot is sufficient and fast). Awaiters use it to reach the
+/// scheduler without threading a pointer through every promise.
+Lane*& CurrentLane();
+
+}  // namespace dgc::sim

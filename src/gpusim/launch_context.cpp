@@ -1,0 +1,74 @@
+#include "gpusim/launch_context.h"
+
+#include "gpusim/block.h"
+#include "support/str.h"
+
+namespace dgc::sim {
+
+namespace {
+constexpr std::uint64_t kMaxRecordedFailures = 16;
+}
+
+LaunchContext::LaunchContext(const DeviceSpec& spec_in, MemorySystem& memsys_in,
+                             const LaunchConfig& config_in,
+                             const KernelFn& kernel_in)
+    : spec(spec_in), memsys(memsys_in), config(config_in), kernel(kernel_in) {
+  sms_.reserve(std::size_t(spec.num_sms));
+  for (int i = 0; i < spec.num_sms; ++i) sms_.emplace_back(i, spec);
+  total_blocks_ = config.grid.Count();
+  warps_per_block_ =
+      spec.WarpsPerBlock(int(config.block.Count()));
+}
+
+LaunchContext::~LaunchContext() = default;
+
+Status LaunchContext::Run() {
+  TrySchedule(0);
+  while (engine.RunOne()) {
+  }
+  if (done_blocks_ != total_blocks_) {
+    return Status(
+        ErrorCode::kInternal,
+        StrFormat("kernel '%s' deadlocked: %llu of %llu blocks retired "
+                  "(a lane is blocked on a barrier that can never release)",
+                  config.name, (unsigned long long)done_blocks_,
+                  (unsigned long long)total_blocks_));
+  }
+  stats.elapsed_cycles = engine.now();
+  stats.blocks_launched = total_blocks_;
+  return Status::Ok();
+}
+
+void LaunchContext::OnBlockFinished(Block* block, std::uint64_t now) {
+  block->sm()->RemoveBlock(warps_per_block_, config.shared_bytes);
+  ++done_blocks_;
+  TrySchedule(now);
+}
+
+void LaunchContext::RecordFailure(std::string message) {
+  ++failure_count;
+  if (failures.size() < kMaxRecordedFailures) {
+    failures.push_back(std::move(message));
+  }
+}
+
+void LaunchContext::TrySchedule(std::uint64_t now) {
+  while (next_block_ < total_blocks_) {
+    // Least-loaded SM that can host the block (lowest id breaks ties).
+    SM* best = nullptr;
+    for (SM& sm : sms_) {
+      if (!sm.CanHost(warps_per_block_, config.shared_bytes)) continue;
+      if (best == nullptr || sm.resident_warps() < best->resident_warps()) {
+        best = &sm;
+      }
+    }
+    if (best == nullptr) return;
+    best->AddBlock(warps_per_block_, config.shared_bytes);
+    auto block = std::make_unique<Block>(this, std::uint32_t(next_block_), best);
+    block->Start(now);
+    blocks_.push_back(std::move(block));
+    ++next_block_;
+  }
+}
+
+}  // namespace dgc::sim

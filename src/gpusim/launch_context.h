@@ -1,0 +1,60 @@
+// LaunchContext: the per-launch orchestrator.
+//
+// Owns the event engine, the blocks, and the SM occupancy bookkeeping for
+// one kernel launch: blocks are dispatched to SMs as slots free up (the
+// GPU's global block scheduler), and the launch completes when every block
+// has retired.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/engine.h"
+#include "gpusim/kernel.h"
+#include "gpusim/memsys.h"
+#include "gpusim/sm.h"
+#include "gpusim/stats.h"
+
+namespace dgc::sim {
+
+class Block;
+
+struct LaunchContext {
+  LaunchContext(const DeviceSpec& spec, MemorySystem& memsys,
+                const LaunchConfig& config, const KernelFn& kernel);
+  ~LaunchContext();
+
+  LaunchContext(const LaunchContext&) = delete;
+  LaunchContext& operator=(const LaunchContext&) = delete;
+
+  /// Dispatches initial blocks and drains the event queue. Returns kInternal
+  /// on deadlock (lanes blocked forever — e.g. a barrier nobody releases).
+  Status Run();
+
+  void OnBlockFinished(Block* block, std::uint64_t now);
+  void RecordFailure(std::string message);
+
+  const DeviceSpec& spec;
+  MemorySystem& memsys;
+  const LaunchConfig& config;
+  const KernelFn& kernel;
+
+  Engine engine;
+  LaunchStats stats;
+  std::vector<std::string> failures;
+  std::uint64_t failure_count = 0;
+
+ private:
+  void TrySchedule(std::uint64_t now);
+
+  std::vector<SM> sms_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::uint64_t total_blocks_ = 0;
+  std::uint64_t next_block_ = 0;
+  std::uint64_t done_blocks_ = 0;
+  int warps_per_block_ = 0;
+};
+
+}  // namespace dgc::sim

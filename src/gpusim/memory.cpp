@@ -1,0 +1,105 @@
+#include "gpusim/memory.h"
+
+#include "support/str.h"
+#include "support/units.h"
+
+namespace dgc::sim {
+
+DeviceMemory::DeviceMemory(std::uint64_t capacity, std::uint32_t alignment)
+    : capacity_(capacity), alignment_(alignment) {
+  DGC_CHECK(alignment_ != 0 && (alignment_ & (alignment_ - 1)) == 0);
+}
+
+StatusOr<DeviceBuffer> DeviceMemory::Allocate(std::uint64_t bytes) {
+  if (bytes == 0) {
+    return Status(ErrorCode::kInvalidArgument, "zero-byte device allocation");
+  }
+  const std::uint64_t rounded =
+      (bytes + alignment_ - 1) & ~std::uint64_t(alignment_ - 1);
+  if (bytes_in_use_ + rounded > capacity_) {
+    return Status(ErrorCode::kOutOfMemory,
+                  StrFormat("device OOM: requested %s, in use %s of %s",
+                            FormatBytes(rounded).c_str(),
+                            FormatBytes(bytes_in_use_).c_str(),
+                            FormatBytes(capacity_).c_str()));
+  }
+
+  // First-fit over free holes (ordered by address → deterministic).
+  DeviceAddr addr = 0;
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second >= rounded) {
+      addr = it->first;
+      const std::uint64_t remaining = it->second - rounded;
+      free_.erase(it);
+      if (remaining > 0) free_.emplace(addr + rounded, remaining);
+      break;
+    }
+  }
+  if (addr == 0) {
+    addr = frontier_;
+    frontier_ += rounded;
+  }
+
+  Region region;
+  region.bytes = rounded;
+  region.storage = std::make_unique<std::byte[]>(rounded);
+  std::byte* host = region.storage.get();
+  live_.emplace(addr, std::move(region));
+  bytes_in_use_ += rounded;
+  peak_bytes_ = std::max(peak_bytes_, bytes_in_use_);
+  return DeviceBuffer{addr, rounded, host};
+}
+
+Status DeviceMemory::Free(DeviceAddr addr) {
+  auto it = live_.find(addr);
+  if (it == live_.end()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  StrFormat("free of unknown device address 0x%llx",
+                            (unsigned long long)addr));
+  }
+  std::uint64_t bytes = it->second.bytes;
+  bytes_in_use_ -= bytes;
+  live_.erase(it);
+
+  // Insert the hole and coalesce with neighbours.
+  auto [hole, inserted] = free_.emplace(addr, bytes);
+  DGC_CHECK(inserted);
+  // Merge with successor.
+  auto next = std::next(hole);
+  if (next != free_.end() && hole->first + hole->second == next->first) {
+    hole->second += next->second;
+    free_.erase(next);
+  }
+  // Merge with predecessor.
+  if (hole != free_.begin()) {
+    auto prev = std::prev(hole);
+    if (prev->first + prev->second == hole->first) {
+      prev->second += hole->second;
+      free_.erase(hole);
+      hole = prev;
+    }
+  }
+  // Return frontier-adjacent space to the frontier.
+  if (hole->first + hole->second == frontier_) {
+    frontier_ = hole->first;
+    free_.erase(hole);
+  }
+  return Status::Ok();
+}
+
+std::byte* DeviceMemory::HostPtr(DeviceAddr addr) const {
+  auto it = live_.upper_bound(addr);
+  if (it == live_.begin()) return nullptr;
+  --it;
+  if (addr >= it->first + it->second.bytes) return nullptr;
+  return it->second.storage.get() + (addr - it->first);
+}
+
+bool DeviceMemory::Contains(DeviceAddr addr, std::uint64_t bytes) const {
+  auto it = live_.upper_bound(addr);
+  if (it == live_.begin()) return false;
+  --it;
+  return addr >= it->first && addr + bytes <= it->first + it->second.bytes;
+}
+
+}  // namespace dgc::sim

@@ -1,0 +1,78 @@
+// Simulated device global memory: a deterministic allocator over the
+// device address space with host-side backing storage.
+//
+// The allocator is a first-fit free list with splitting and coalescing —
+// deliberately similar to a real device heap, because the paper's analysis
+// hinges on instances allocating from *distinct, non-contiguous* heap
+// regions. Determinism: the same allocation sequence always produces the
+// same device addresses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gpusim/address.h"
+#include "support/status.h"
+
+namespace dgc::sim {
+
+/// A device allocation: address range plus backing storage.
+struct DeviceBuffer {
+  DeviceAddr addr = 0;
+  std::uint64_t bytes = 0;
+  std::byte* host = nullptr;
+
+  template <typename T>
+  DevicePtr<T> Typed(std::uint64_t element_offset = 0) const {
+    return DevicePtr<T>{addr + element_offset * sizeof(T),
+                        reinterpret_cast<T*>(host) + element_offset};
+  }
+};
+
+class DeviceMemory {
+ public:
+  /// `capacity` bounds the sum of live allocations (the "40GB" the paper's
+  /// Page-Rank runs exhaust). `alignment` applies to every allocation.
+  explicit DeviceMemory(std::uint64_t capacity, std::uint32_t alignment = 256);
+
+  DeviceMemory(const DeviceMemory&) = delete;
+  DeviceMemory& operator=(const DeviceMemory&) = delete;
+
+  /// Allocates `bytes` (rounded up to the alignment); kOutOfMemory when the
+  /// capacity would be exceeded or the address space is too fragmented.
+  StatusOr<DeviceBuffer> Allocate(std::uint64_t bytes);
+
+  /// Frees a previous allocation by base address.
+  Status Free(DeviceAddr addr);
+
+  /// Translates a device address to its backing host pointer; nullptr when
+  /// the address is not inside a live allocation.
+  std::byte* HostPtr(DeviceAddr addr) const;
+
+  /// True when [addr, addr+bytes) lies inside one live allocation.
+  bool Contains(DeviceAddr addr, std::uint64_t bytes) const;
+
+  std::uint64_t bytes_in_use() const { return bytes_in_use_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t allocation_count() const { return live_.size(); }
+  /// High-water mark of bytes_in_use over the instance lifetime.
+  std::uint64_t peak_bytes() const { return peak_bytes_; }
+
+ private:
+  struct Region {
+    std::uint64_t bytes = 0;
+    std::unique_ptr<std::byte[]> storage;  // null for free regions
+  };
+
+  std::uint64_t capacity_;
+  std::uint32_t alignment_;
+  std::uint64_t bytes_in_use_ = 0;
+  std::uint64_t peak_bytes_ = 0;
+  DeviceAddr frontier_ = kGlobalBase;  ///< first never-used address
+  std::map<DeviceAddr, Region> live_;  ///< live allocations by base address
+  std::map<DeviceAddr, std::uint64_t> free_;  ///< free holes by base address
+};
+
+}  // namespace dgc::sim

@@ -1,0 +1,110 @@
+#include "gpusim/memsys.h"
+
+#include <algorithm>
+
+#include "support/status.h"
+
+namespace dgc::sim {
+
+MemorySystem::MemorySystem(const DeviceSpec& spec)
+    : spec_(spec),
+      l2_(spec.l2_bytes, spec.sector_bytes, spec.l2_ways),
+      channels_(spec.dram_channels) {
+  l1_.reserve(std::size_t(spec.num_sms));
+  for (int i = 0; i < spec.num_sms; ++i) {
+    l1_.emplace_back(spec.l1_bytes, spec.sector_bytes, spec.l1_ways);
+  }
+  for (auto& ch : channels_) {
+    ch.open_row.assign(spec.dram_banks_per_channel, ~std::uint64_t(0));
+  }
+}
+
+std::uint64_t MemorySystem::Access(int sm_id,
+                                   std::span<const std::uint64_t> sectors,
+                                   bool is_store, std::uint64_t now,
+                                   LaunchStats& stats) {
+  DGC_CHECK(sm_id >= 0 && std::size_t(sm_id) < l1_.size());
+  std::uint64_t completion = now + spec_.l1_latency;  // at least an L1 trip
+  SectorCache& l1 = l1_[std::size_t(sm_id)];
+
+  for (std::uint64_t sector : sectors) {
+    // L1: stores write through (they still allocate, modelling sector fill).
+    const bool l1_hit = l1.Access(sector);
+    if (l1_hit) ++stats.l1_hits; else ++stats.l1_misses;
+    if (l1_hit && !is_store) {
+      completion = std::max(completion, now + spec_.l1_latency);
+      continue;
+    }
+
+    // L2: shared bandwidth — sectors serialize on the (fast) L2 port.
+    const double l2_service =
+        double(spec_.sector_bytes) / spec_.l2_bytes_per_cycle;
+    l2_busy_until_ = std::max(l2_busy_until_, double(now)) + l2_service;
+    const bool l2_hit = l2_.Access(sector);
+    if (l2_hit) ++stats.l2_hits; else ++stats.l2_misses;
+    if (l2_hit) {
+      completion = std::max(
+          completion, std::uint64_t(l2_busy_until_) + spec_.l2_latency);
+      continue;
+    }
+
+    // DRAM: sectors interleave across channels; within a channel, the
+    // *channel-local* address picks the row (so a sequential stream walks
+    // one open row) and the row picks the bank. Concurrent streams from
+    // different heap allocations hit different rows, thrash the banks'
+    // open rows, and pay the activation penalty — §4.3's effect.
+    Channel& ch = channels_[sector % channels_.size()];
+    const std::uint64_t local = sector / channels_.size();
+    const std::uint64_t row =
+        local * spec_.sector_bytes / spec_.dram_row_bytes;
+    std::uint64_t& open_row = ch.open_row[row % ch.open_row.size()];
+    std::uint64_t latency = spec_.dram_latency;
+    if (open_row == row) {
+      ++stats.dram_row_hits;
+    } else {
+      ++stats.dram_row_misses;
+      latency += spec_.dram_row_miss_penalty;
+      open_row = row;
+    }
+    const double channel_rate =
+        spec_.dram_bytes_per_cycle / double(channels_.size());
+    const double service = double(spec_.sector_bytes) / channel_rate;
+    ch.busy_until = std::max(ch.busy_until, double(now)) + service;
+    stats.dram_bytes += spec_.sector_bytes;
+    completion = std::max(
+        completion, std::uint64_t(ch.busy_until) + latency + spec_.l2_latency);
+  }
+  return completion;
+}
+
+std::uint64_t MemorySystem::AccessShared(std::span<const std::uint64_t> addrs,
+                                         std::uint64_t now,
+                                         LaunchStats& stats) {
+  // Bank-conflict model: lanes touching distinct 4-byte words in the same
+  // bank serialize; the instruction takes conflict_degree bank cycles.
+  std::vector<std::uint64_t> words(addrs.begin(), addrs.end());
+  for (auto& a : words) a /= 4;
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+
+  std::vector<std::uint32_t> per_bank(spec_.smem_banks, 0);
+  for (std::uint64_t w : words) ++per_bank[w % spec_.smem_banks];
+  std::uint32_t degree = 1;
+  for (std::uint32_t c : per_bank) degree = std::max(degree, std::max(c, 1u));
+
+  stats.smem_accesses += addrs.size();
+  stats.smem_bank_conflicts += degree - 1;
+  return now + spec_.smem_latency + (degree - 1);
+}
+
+void MemorySystem::Reset() {
+  for (auto& c : l1_) c.Clear();
+  l2_.Clear();
+  l2_busy_until_ = 0;
+  for (auto& ch : channels_) {
+    ch.busy_until = 0;
+    ch.open_row.assign(spec_.dram_banks_per_channel, ~std::uint64_t(0));
+  }
+}
+
+}  // namespace dgc::sim

@@ -1,0 +1,55 @@
+// The memory hierarchy timing model: per-SM L1 → shared L2 → DRAM.
+//
+// DRAM is the contended resource that produces the paper's sub-linear
+// ensemble scaling: it has a finite byte rate, a small number of channels,
+// and per-channel row buffers. Streams from many concurrent instances hit
+// disjoint heap allocations, interleave on the channels, and lower the
+// row-hit rate — exactly the effect §4.3 describes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/cache.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/stats.h"
+
+namespace dgc::sim {
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const DeviceSpec& spec);
+
+  /// Services one warp memory instruction: `sectors` (unique sector ids
+  /// from the coalescer) issued by SM `sm_id` at time `now`. Returns the
+  /// completion time. Hits and misses are recorded into `stats`.
+  std::uint64_t Access(int sm_id, std::span<const std::uint64_t> sectors,
+                       bool is_store, std::uint64_t now, LaunchStats& stats);
+
+  /// Services one warp *shared-memory* instruction: lane bank indices are
+  /// derived from addresses; conflicting banks serialize. Returns completion.
+  std::uint64_t AccessShared(std::span<const std::uint64_t> addrs,
+                             std::uint64_t now, LaunchStats& stats);
+
+  /// Resets caches and channel state (between independent launches).
+  void Reset();
+
+ private:
+  /// One DRAM channel: a shared busy-until cursor (bandwidth) and one open
+  /// row per bank (locality). Cursors are fractional: a sector's service
+  /// time is far below one cycle on a modern part, and rounding it up
+  /// would throttle the whole hierarchy.
+  struct Channel {
+    double busy_until = 0;
+    std::vector<std::uint64_t> open_row;  ///< per bank, ~0 = closed
+  };
+
+  const DeviceSpec& spec_;
+  std::vector<SectorCache> l1_;  ///< one per SM
+  SectorCache l2_;
+  double l2_busy_until_ = 0;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace dgc::sim

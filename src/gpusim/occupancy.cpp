@@ -1,0 +1,59 @@
+#include "gpusim/occupancy.h"
+
+#include <algorithm>
+
+namespace dgc::sim {
+
+StatusOr<Occupancy> ComputeOccupancy(const DeviceSpec& spec,
+                                     const LaunchConfig& config) {
+  const std::uint64_t threads = config.block.Count();
+  if (threads == 0 || config.grid.Count() == 0) {
+    return Status(ErrorCode::kInvalidArgument, "empty grid or block");
+  }
+  if (threads > std::uint64_t(spec.max_threads_per_block)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "block exceeds max_threads_per_block");
+  }
+  if (config.shared_bytes > spec.shared_memory_per_block) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "shared memory exceeds the per-block limit");
+  }
+
+  Occupancy occ;
+  occ.warps_per_block = spec.WarpsPerBlock(int(threads));
+  if (occ.warps_per_block > spec.max_warps_per_sm) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "block needs more warp contexts than an SM has");
+  }
+
+  const int by_slots = spec.max_blocks_per_sm;
+  const int by_warps = spec.max_warps_per_sm / occ.warps_per_block;
+  // The SM's shared-memory pool is modelled as per-block-limit × slots
+  // (see SM::CanHost); zero shared usage never limits.
+  const std::uint64_t smem_pool =
+      std::uint64_t(spec.shared_memory_per_block) *
+      std::uint64_t(spec.max_blocks_per_sm);
+  const int by_smem =
+      config.shared_bytes == 0
+          ? by_slots
+          : int(std::min<std::uint64_t>(smem_pool / config.shared_bytes,
+                                        std::uint64_t(by_slots)));
+
+  occ.blocks_per_sm = std::min({by_slots, by_warps, by_smem});
+  if (occ.blocks_per_sm == by_warps && by_warps < by_slots) {
+    occ.limiter = "warp contexts";
+  } else if (occ.blocks_per_sm == by_smem && by_smem < by_slots) {
+    occ.limiter = "shared memory";
+  } else {
+    occ.limiter = "block slots";
+  }
+  occ.warps_per_sm = occ.blocks_per_sm * occ.warps_per_block;
+  occ.warp_occupancy = double(occ.warps_per_sm) / double(spec.max_warps_per_sm);
+  occ.resident_blocks =
+      std::uint64_t(occ.blocks_per_sm) * std::uint64_t(spec.num_sms);
+  occ.waves =
+      (config.grid.Count() + occ.resident_blocks - 1) / occ.resident_blocks;
+  return occ;
+}
+
+}  // namespace dgc::sim

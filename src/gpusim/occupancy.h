@@ -1,0 +1,37 @@
+// Occupancy calculator: how a launch configuration maps onto the device's
+// SM resources — the planning tool behind the §3.1 mapping discussion
+// ("the number of instances that can execute concurrently is limited by
+// the number of teams available").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/device_spec.h"
+#include "gpusim/kernel.h"
+#include "support/status.h"
+
+namespace dgc::sim {
+
+struct Occupancy {
+  int warps_per_block = 0;
+  /// Max co-resident blocks per SM under all limits.
+  int blocks_per_sm = 0;
+  /// Co-resident warps per SM (blocks_per_sm × warps_per_block).
+  int warps_per_sm = 0;
+  /// warps_per_sm / max_warps_per_sm.
+  double warp_occupancy = 0.0;
+  /// Which resource binds: "block slots", "warp contexts", "shared memory".
+  std::string limiter;
+  /// Device-wide co-resident blocks.
+  std::uint64_t resident_blocks = 0;
+  /// Waves of blocks needed for the whole grid.
+  std::uint64_t waves = 0;
+};
+
+/// Computes the occupancy of `config` on `spec`; kInvalidArgument when the
+/// configuration cannot launch at all.
+StatusOr<Occupancy> ComputeOccupancy(const DeviceSpec& spec,
+                                     const LaunchConfig& config);
+
+}  // namespace dgc::sim

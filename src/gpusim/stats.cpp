@@ -1,0 +1,74 @@
+#include "gpusim/stats.h"
+
+#include "support/str.h"
+#include "support/units.h"
+
+namespace dgc::sim {
+
+void LaunchStats::Accumulate(const LaunchStats& o) {
+  warp_instructions += o.warp_instructions;
+  compute_instructions += o.compute_instructions;
+  load_instructions += o.load_instructions;
+  store_instructions += o.store_instructions;
+  atomic_instructions += o.atomic_instructions;
+  external_calls += o.external_calls;
+  barrier_arrivals += o.barrier_arrivals;
+  divergent_replays += o.divergent_replays;
+  global_sectors += o.global_sectors;
+  ideal_sectors += o.ideal_sectors;
+  l1_hits += o.l1_hits;
+  l1_misses += o.l1_misses;
+  l2_hits += o.l2_hits;
+  l2_misses += o.l2_misses;
+  dram_bytes += o.dram_bytes;
+  dram_row_hits += o.dram_row_hits;
+  dram_row_misses += o.dram_row_misses;
+  smem_accesses += o.smem_accesses;
+  smem_bank_conflicts += o.smem_bank_conflicts;
+  compute_cycles_issued += o.compute_cycles_issued;
+  elapsed_cycles += o.elapsed_cycles;
+  blocks_launched += o.blocks_launched;
+}
+
+namespace {
+double Ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : double(num) / double(den);
+}
+}  // namespace
+
+double LaunchStats::CoalescingEfficiency() const {
+  return global_sectors == 0 ? 1.0 : Ratio(ideal_sectors, global_sectors);
+}
+double LaunchStats::L1HitRate() const { return Ratio(l1_hits, l1_hits + l1_misses); }
+double LaunchStats::L2HitRate() const { return Ratio(l2_hits, l2_hits + l2_misses); }
+double LaunchStats::DramRowHitRate() const {
+  return Ratio(dram_row_hits, dram_row_hits + dram_row_misses);
+}
+
+std::string LaunchStats::ToString() const {
+  std::string out;
+  out += StrFormat("elapsed: %s cycles, blocks: %llu\n",
+                   FormatCount(elapsed_cycles).c_str(),
+                   (unsigned long long)blocks_launched);
+  out += StrFormat(
+      "warp instructions: %s (compute %s, load %s, store %s, atomic %s, "
+      "external %s)\n",
+      FormatCount(warp_instructions).c_str(),
+      FormatCount(compute_instructions).c_str(),
+      FormatCount(load_instructions).c_str(),
+      FormatCount(store_instructions).c_str(),
+      FormatCount(atomic_instructions).c_str(),
+      FormatCount(external_calls).c_str());
+  out += StrFormat(
+      "sectors: %s (coalescing efficiency %.2f), L1 %.2f, L2 %.2f, "
+      "DRAM %s rows %.2f\n",
+      FormatCount(global_sectors).c_str(), CoalescingEfficiency(), L1HitRate(),
+      L2HitRate(), FormatBytes(dram_bytes).c_str(), DramRowHitRate());
+  out += StrFormat("barriers: %s, divergent replays: %s, smem conflicts: %s\n",
+                   FormatCount(barrier_arrivals).c_str(),
+                   FormatCount(divergent_replays).c_str(),
+                   FormatCount(smem_bank_conflicts).c_str());
+  return out;
+}
+
+}  // namespace dgc::sim

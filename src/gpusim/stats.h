@@ -1,0 +1,50 @@
+// Counters collected by the simulator during a kernel launch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dgc::sim {
+
+struct LaunchStats {
+  // Instruction mix (warp granularity).
+  std::uint64_t warp_instructions = 0;
+  std::uint64_t compute_instructions = 0;
+  std::uint64_t load_instructions = 0;
+  std::uint64_t store_instructions = 0;
+  std::uint64_t atomic_instructions = 0;
+  std::uint64_t external_calls = 0;   ///< RPC / host callbacks
+  std::uint64_t barrier_arrivals = 0;
+  std::uint64_t divergent_replays = 0;  ///< extra serialized op groups
+
+  // Memory behaviour.
+  std::uint64_t global_sectors = 0;        ///< after coalescing
+  std::uint64_t ideal_sectors = 0;         ///< lower bound (perfect packing)
+  std::uint64_t l1_hits = 0, l1_misses = 0;
+  std::uint64_t l2_hits = 0, l2_misses = 0;
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t dram_row_hits = 0, dram_row_misses = 0;
+  std::uint64_t smem_accesses = 0;
+  std::uint64_t smem_bank_conflicts = 0;  ///< extra serialized bank cycles
+
+  // Compute behaviour.
+  std::uint64_t compute_cycles_issued = 0;
+
+  // Outcome.
+  std::uint64_t elapsed_cycles = 0;
+  std::uint64_t blocks_launched = 0;
+
+  void Accumulate(const LaunchStats& other);
+
+  /// Fraction of coalesced sectors that were strictly necessary (1.0 is
+  /// perfectly coalesced; lower means scattered accesses).
+  double CoalescingEfficiency() const;
+  double L1HitRate() const;
+  double L2HitRate() const;
+  double DramRowHitRate() const;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+}  // namespace dgc::sim

@@ -1,0 +1,51 @@
+#include "gpusim/trace.h"
+
+#include <fstream>
+
+#include "support/str.h"
+
+namespace dgc::sim {
+
+std::string_view TraceKindName(DeviceOp::Kind kind) {
+  switch (kind) {
+    case DeviceOp::Kind::kNone: return "none";
+    case DeviceOp::Kind::kLoad: return "load";
+    case DeviceOp::Kind::kLoadBatch: return "gather";
+    case DeviceOp::Kind::kStore: return "store";
+    case DeviceOp::Kind::kStoreBatch: return "scatter";
+    case DeviceOp::Kind::kAtomic: return "atomic";
+    case DeviceOp::Kind::kWork: return "work";
+    case DeviceOp::Kind::kSync: return "sync";
+    case DeviceOp::Kind::kExternal: return "rpc";
+  }
+  return "?";
+}
+
+std::string Trace::ToChromeJson() const {
+  std::string out = "[\n";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    const std::uint64_t dur = e.complete > e.issue ? e.complete - e.issue : 1;
+    out += StrFormat(
+        R"(  {"name":"%.*s","ph":"X","ts":%llu,"dur":%llu,"pid":%d,)"
+        R"("tid":%u,"args":{"block":%u,"warp":%u,"lanes":%u,"sectors":%u}})",
+        int(TraceKindName(e.kind).size()), TraceKindName(e.kind).data(),
+        (unsigned long long)e.issue, (unsigned long long)dur, e.sm,
+        e.block * 100 + e.warp, e.block, e.warp, e.lanes, e.sectors);
+  }
+  out += "\n]\n";
+  return out;
+}
+
+Status Trace::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status(ErrorCode::kInvalidArgument, "cannot write " + path);
+  }
+  out << ToChromeJson();
+  return Status::Ok();
+}
+
+}  // namespace dgc::sim

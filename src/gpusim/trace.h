@@ -1,0 +1,65 @@
+// Optional per-launch instruction tracing.
+//
+// When a LaunchConfig carries a Trace sink, every issued warp instruction
+// group is recorded (kind, issue/completion cycle, lanes, sectors). The
+// trace can be exported as Chrome-trace JSON (chrome://tracing /
+// ui.perfetto.dev): one row per warp, grouped by SM — the quickest way to
+// see why an ensemble bends (DRAM queueing shows up as stretching memory
+// slices).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/lane.h"
+#include "support/status.h"
+
+namespace dgc::sim {
+
+struct TraceEvent {
+  std::uint32_t block = 0;
+  std::uint32_t warp = 0;  ///< warp id within the block
+  std::int32_t sm = 0;
+  DeviceOp::Kind kind = DeviceOp::Kind::kNone;
+  std::uint64_t issue = 0;     ///< cycle the group issued
+  std::uint64_t complete = 0;  ///< cycle the group completed
+  std::uint32_t lanes = 0;     ///< lanes in the group
+  std::uint32_t sectors = 0;   ///< memory sectors touched (mem kinds only)
+};
+
+/// Human-readable tag for an op kind ("load", "work", ...).
+std::string_view TraceKindName(DeviceOp::Kind kind);
+
+class Trace {
+ public:
+  /// `capacity` bounds memory use; further events are dropped (counted).
+  explicit Trace(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  void Record(const TraceEvent& event) {
+    if (events_.size() < capacity_) {
+      events_.push_back(event);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t dropped() const { return dropped_; }
+  void Clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Chrome-trace JSON ("ts"/"dur" in simulated cycles, pid = SM,
+  /// tid = block:warp).
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dgc::sim

@@ -1,0 +1,310 @@
+#include "gpusim/warp.h"
+
+#include <algorithm>
+
+#include "gpusim/block.h"
+#include "gpusim/coalesce.h"
+#include "gpusim/engine.h"
+#include "gpusim/launch_context.h"
+#include "gpusim/trace.h"
+#include "support/str.h"
+
+namespace dgc::sim {
+namespace {
+
+std::uint64_t ReadBits(const void* host, std::uint8_t bytes) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, host, bytes);
+  return b;
+}
+
+void WriteBits(void* host, std::uint8_t bytes, std::uint64_t bits) {
+  std::memcpy(host, &bits, bytes);
+}
+
+}  // namespace
+
+Warp::Warp(Block* block, std::uint32_t warp_id, std::span<Lane> lanes,
+           LaunchContext* lc)
+    : block_(block), warp_id_(warp_id), lanes_(lanes), lc_(lc) {
+  for (Lane& lane : lanes_) lane.warp = this;
+}
+
+void Warp::WakeAt(std::uint64_t t, Engine& engine) { engine.Schedule(t, this); }
+
+void Warp::Turn(std::uint64_t now) {
+  const bool resumed_any = ResumePhase(now);
+  bool processed_any = false;
+  ProcessPhase(now, processed_any);
+  if (!resumed_any && !processed_any) return;  // spurious wake-up
+
+  // Schedule the next turn at the earliest time a lane becomes runnable.
+  // Lanes blocked on barriers are woken by the barrier release instead.
+  std::uint64_t t_next = ~std::uint64_t(0);
+  for (Lane& lane : lanes_) {
+    if (lane.state != Lane::State::kReady || lane.root_finished()) continue;
+    if (lane.pending.kind != DeviceOp::Kind::kNone) continue;
+    t_next = std::min(t_next, std::max(lane.ready_at, now + 1));
+  }
+  if (t_next != ~std::uint64_t(0)) WakeAt(t_next, lc_->engine);
+}
+
+bool Warp::ResumePhase(std::uint64_t now) {
+  bool resumed_any = false;
+  for (Lane& lane : lanes_) {
+    if (lane.state != Lane::State::kReady || lane.root_finished()) continue;
+    if (lane.pending.kind != DeviceOp::Kind::kNone) continue;
+    if (lane.ready_at > now) continue;
+    lane.Resume();
+    resumed_any = true;
+    if (!lane.root_finished()) continue;
+
+    if (std::exception_ptr err = lane.root_error()) {
+      lane.state = Lane::State::kFailed;
+      std::string what = "unknown device exception";
+      try {
+        std::rethrow_exception(err);
+      } catch (const std::exception& e) {
+        what = e.what();
+      } catch (...) {
+      }
+      lc_->RecordFailure(StrFormat("block %u thread %u: %s", block_->id(),
+                                   lane.thread_id, what.c_str()));
+    } else {
+      lane.state = Lane::State::kDone;
+    }
+    block_->OnLaneDone(&lane, now);
+  }
+  return resumed_any;
+}
+
+std::uint64_t Warp::ProcessPhase(std::uint64_t now, bool& processed_any) {
+  // Divergent subsets of a warp serialize at ISSUE (one group per issue
+  // slot, kIssueCycles apart) but their latencies overlap — both sides of
+  // a branch can have memory in flight. The turn completes, and all lanes
+  // re-converge, at the slowest group's completion.
+  const std::uint64_t kIssueCycles = lc_->spec.issue_cycles;
+  std::uint64_t t = now;       // final (max) completion
+  std::uint64_t issue = now;   // next group's issue time
+  int groups = 0;
+  while (true) {
+    // Gather the next issue group: all ready lanes whose pending op matches
+    // the first pending lane's kind (and barrier / address space).
+    DeviceOp::Kind kind = DeviceOp::Kind::kNone;
+    Barrier* barrier = nullptr;
+    bool shared_space = false;
+    group_.clear();
+    for (Lane& lane : lanes_) {
+      if (lane.state != Lane::State::kReady) continue;
+      if (lane.pending.kind == DeviceOp::Kind::kNone) continue;
+      if (kind == DeviceOp::Kind::kNone) {
+        kind = lane.pending.kind;
+        barrier = lane.pending.barrier;
+        shared_space = IsSharedAddr(lane.pending.addr);
+      }
+      if (lane.pending.kind != kind) continue;
+      if (kind == DeviceOp::Kind::kSync && lane.pending.barrier != barrier) {
+        continue;
+      }
+      const bool is_mem = kind == DeviceOp::Kind::kLoad ||
+                          kind == DeviceOp::Kind::kStore ||
+                          kind == DeviceOp::Kind::kAtomic ||
+                          kind == DeviceOp::Kind::kLoadBatch ||
+                          kind == DeviceOp::Kind::kStoreBatch;
+      if (is_mem && IsSharedAddr(lane.pending.addr) != shared_space) continue;
+      group_.push_back(&lane);
+    }
+    if (group_.empty()) break;
+    ++groups;
+    processed_any = true;
+    ++lc_->stats.warp_instructions;
+
+    std::uint64_t t_end = issue;
+    switch (kind) {
+      case DeviceOp::Kind::kWork:
+        ++lc_->stats.compute_instructions;
+        t_end = IssueWorkGroup(group_, issue);
+        break;
+      case DeviceOp::Kind::kLoad:
+        ++lc_->stats.load_instructions;
+        t_end = IssueMemoryGroup(group_, /*is_store=*/false, issue);
+        break;
+      case DeviceOp::Kind::kLoadBatch:
+        ++lc_->stats.load_instructions;
+        t_end = IssueBatchGroup(group_, issue, /*is_store=*/false);
+        break;
+      case DeviceOp::Kind::kStoreBatch:
+        ++lc_->stats.store_instructions;
+        t_end = IssueBatchGroup(group_, issue, /*is_store=*/true);
+        break;
+      case DeviceOp::Kind::kStore:
+        ++lc_->stats.store_instructions;
+        t_end = IssueMemoryGroup(group_, /*is_store=*/true, issue);
+        break;
+      case DeviceOp::Kind::kAtomic:
+        ++lc_->stats.atomic_instructions;
+        t_end = IssueAtomicGroup(group_, issue);
+        break;
+      case DeviceOp::Kind::kExternal:
+        t_end = IssueExternalGroup(group_, issue);
+        break;
+      case DeviceOp::Kind::kSync:
+        IssueSyncGroup(group_, issue);
+        issue += kIssueCycles;
+        continue;  // lanes are blocked; no completion time to propagate
+      case DeviceOp::Kind::kNone:
+        DGC_CHECK(false);
+    }
+
+    t_end = std::max(t_end, issue + 1);  // an instruction costs ≥ 1 cycle
+    if (lc_->config.trace != nullptr) {
+      const bool is_mem = kind == DeviceOp::Kind::kLoad ||
+                          kind == DeviceOp::Kind::kStore ||
+                          kind == DeviceOp::Kind::kAtomic ||
+                          kind == DeviceOp::Kind::kLoadBatch ||
+                          kind == DeviceOp::Kind::kStoreBatch;
+      lc_->config.trace->Record({block_->id(), warp_id_, block_->sm()->id(),
+                                 kind, issue, t_end,
+                                 std::uint32_t(group_.size()),
+                                 is_mem ? std::uint32_t(sectors_.size()) : 0});
+    }
+    for (Lane* lane : group_) {
+      lane->pending = DeviceOp{};
+      processed_.push_back(lane);
+    }
+    t = std::max(t, t_end);
+    issue += kIssueCycles;
+  }
+  if (groups > 1) lc_->stats.divergent_replays += std::uint64_t(groups - 1);
+
+  // Warp-synchronous re-convergence: every lane processed this turn
+  // resumes together at the slowest group's completion. Without this,
+  // latency variance between groups staggers the lanes permanently,
+  // fragmenting every later turn into ever smaller issue groups — real
+  // warps are lockstep and do not do that.
+  for (Lane* lane : processed_) {
+    if (lane->state == Lane::State::kReady) lane->ready_at = t;
+  }
+  processed_.clear();
+  return t;
+}
+
+std::uint64_t Warp::IssueMemoryGroup(std::span<Lane*> group, bool is_store,
+                                     std::uint64_t t) {
+  const bool shared_space = IsSharedAddr(group.front()->pending.addr);
+
+  // Functional effect at issue time, in lane order.
+  for (Lane* lane : group) {
+    DeviceOp& op = lane->pending;
+    if (is_store) {
+      WriteBits(op.host, op.bytes, op.bits);
+    } else {
+      lane->pending_result = ReadBits(op.host, op.bytes);
+    }
+  }
+
+  if (shared_space) {
+    std::vector<std::uint64_t> addrs;
+    addrs.reserve(group.size());
+    for (Lane* lane : group) addrs.push_back(lane->pending.addr - kSharedBase);
+    return lc_->memsys.AccessShared(addrs, t, lc_->stats);
+  }
+
+  std::vector<LaneAccess> accesses;
+  accesses.reserve(group.size());
+  for (Lane* lane : group) {
+    accesses.push_back({lane->pending.addr, lane->pending.bytes});
+  }
+  CoalesceSectors(accesses, lc_->spec.sector_bytes, sectors_);
+  lc_->stats.global_sectors += sectors_.size();
+  lc_->stats.ideal_sectors += IdealSectorCount(accesses, lc_->spec.sector_bytes);
+  return lc_->memsys.Access(block_->sm()->id(), sectors_, is_store, t,
+                            lc_->stats);
+}
+
+std::uint64_t Warp::IssueBatchGroup(std::span<Lane*> group, std::uint64_t t,
+                                    bool is_store) {
+  // Pipelined independent loads/stores: every slot of every lane coalesces
+  // into one stream of sectors that pays bandwidth-serialized service but
+  // only one latency trip — the scoreboarded-MLP behaviour of streaming
+  // code.
+  std::vector<LaneAccess> accesses;
+  for (Lane* lane : group) {
+    DeviceOp& op = lane->pending;
+    for (std::uint32_t i = 0; i < op.batch_count; ++i) {
+      BatchSlot& slot = op.batch[i];
+      DGC_CHECK_MSG(!IsSharedAddr(slot.addr),
+                    "Gather/Scatter target global memory only");
+      if (is_store) {
+        WriteBits(slot.host, slot.bytes, slot.result);
+      } else {
+        slot.result = ReadBits(slot.host, slot.bytes);
+      }
+      accesses.push_back({slot.addr, slot.bytes});
+    }
+  }
+  CoalesceSectors(accesses, lc_->spec.sector_bytes, sectors_);
+  lc_->stats.global_sectors += sectors_.size();
+  lc_->stats.ideal_sectors += IdealSectorCount(accesses, lc_->spec.sector_bytes);
+  return lc_->memsys.Access(block_->sm()->id(), sectors_, is_store, t,
+                            lc_->stats);
+}
+
+std::uint64_t Warp::IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t) {
+  // Functional read-modify-write in lane order (deterministic).
+  for (Lane* lane : group) {
+    DeviceOp& op = lane->pending;
+    lane->pending_result = op.apply(op.host, op.bits);
+  }
+  const bool shared_space = IsSharedAddr(group.front()->pending.addr);
+  std::uint64_t t_end;
+  if (shared_space) {
+    std::vector<std::uint64_t> addrs;
+    for (Lane* lane : group) addrs.push_back(lane->pending.addr - kSharedBase);
+    t_end = lc_->memsys.AccessShared(addrs, t, lc_->stats);
+  } else {
+    std::vector<LaneAccess> accesses;
+    for (Lane* lane : group) {
+      accesses.push_back({lane->pending.addr, lane->pending.bytes});
+    }
+    CoalesceSectors(accesses, lc_->spec.sector_bytes, sectors_);
+    lc_->stats.global_sectors += sectors_.size();
+    lc_->stats.ideal_sectors +=
+        IdealSectorCount(accesses, lc_->spec.sector_bytes);
+    t_end = lc_->memsys.Access(block_->sm()->id(), sectors_, /*is_store=*/true,
+                               t, lc_->stats);
+  }
+  // Lanes updating memory atomically serialize on the atomic unit.
+  return t_end + std::uint64_t(lc_->spec.atomic_serialization_cycles) *
+                     (group.size() - 1);
+}
+
+std::uint64_t Warp::IssueWorkGroup(std::span<Lane*> group, std::uint64_t t) {
+  std::uint64_t cycles = 1;
+  for (Lane* lane : group) cycles = std::max(cycles, lane->pending.cycles);
+  return block_->sm()->IssueCompute(t, cycles, lc_->stats);
+}
+
+std::uint64_t Warp::IssueExternalGroup(std::span<Lane*> group,
+                                       std::uint64_t t) {
+  // Host calls are serviced sequentially by the host RPC thread.
+  std::uint64_t t_end = t;
+  for (Lane* lane : group) {
+    DeviceOp& op = lane->pending;
+    lane->pending_result = (*op.external)();
+    t_end += std::max<std::uint64_t>(op.cycles, 1);
+    ++lc_->stats.external_calls;
+  }
+  return t_end;
+}
+
+void Warp::IssueSyncGroup(std::span<Lane*> group, std::uint64_t t) {
+  for (Lane* lane : group) {
+    Barrier* barrier = lane->pending.barrier;
+    lane->pending = DeviceOp{};
+    ++lc_->stats.barrier_arrivals;
+    barrier->Arrive(lane, t, lc_->engine);
+  }
+}
+
+}  // namespace dgc::sim

@@ -1,0 +1,48 @@
+#include "ompx/mapping.h"
+
+#include "support/log.h"
+
+namespace dgc::ompx {
+
+DataEnv::~DataEnv() {
+  for (const sim::DeviceBuffer& buf : owned_) {
+    const Status s = device_.Free(buf.addr);
+    if (!s.ok()) DGC_LOG(kError) << "DataEnv teardown: " << s.ToString();
+  }
+}
+
+StatusOr<sim::DeviceBuffer> DataEnv::MapAlloc(std::uint64_t bytes) {
+  DGC_ASSIGN_OR_RETURN(sim::DeviceBuffer buf, device_.Malloc(bytes));
+  owned_.push_back(buf);
+  return buf;
+}
+
+StatusOr<sim::DeviceBuffer> DataEnv::MapTo(const void* host,
+                                           std::uint64_t bytes) {
+  DGC_ASSIGN_OR_RETURN(sim::DeviceBuffer buf, MapAlloc(bytes));
+  transfer_cycles_ += device_.CopyToDevice(buf, host, bytes);
+  bytes_to_device_ += bytes;
+  return buf;
+}
+
+StatusOr<sim::DeviceBuffer> DataEnv::MapToFrom(void* host,
+                                               std::uint64_t bytes) {
+  DGC_ASSIGN_OR_RETURN(sim::DeviceBuffer buf, MapTo(host, bytes));
+  copy_backs_.push_back({host, buf, bytes});
+  return buf;
+}
+
+StatusOr<sim::DeviceBuffer> DataEnv::MapFrom(void* host, std::uint64_t bytes) {
+  DGC_ASSIGN_OR_RETURN(sim::DeviceBuffer buf, MapAlloc(bytes));
+  copy_backs_.push_back({host, buf, bytes});
+  return buf;
+}
+
+void DataEnv::Sync() {
+  for (const CopyBack& cb : copy_backs_) {
+    transfer_cycles_ += device_.CopyFromDevice(cb.host, cb.buffer, cb.bytes);
+    bytes_from_device_ += cb.bytes;
+  }
+}
+
+}  // namespace dgc::ompx

@@ -1,0 +1,59 @@
+// OpenMP-style data environment: `map(to/from/tofrom/alloc)` semantics with
+// a PCIe transfer cost model. A DataEnv owns the device allocations it
+// created and releases them on destruction (end of the data region).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.h"
+
+namespace dgc::ompx {
+
+class DataEnv {
+ public:
+  explicit DataEnv(sim::Device& device) : device_(device) {}
+  ~DataEnv();
+
+  DataEnv(const DataEnv&) = delete;
+  DataEnv& operator=(const DataEnv&) = delete;
+
+  /// map(to:) — allocate and copy host→device.
+  StatusOr<sim::DeviceBuffer> MapTo(const void* host, std::uint64_t bytes);
+
+  /// map(alloc:) — allocate uninitialized device storage.
+  StatusOr<sim::DeviceBuffer> MapAlloc(std::uint64_t bytes);
+
+  /// map(tofrom:) — like MapTo, and registered for copy-back on Sync.
+  StatusOr<sim::DeviceBuffer> MapToFrom(void* host, std::uint64_t bytes);
+
+  /// map(from:) — allocate, and register for copy-back on Sync.
+  StatusOr<sim::DeviceBuffer> MapFrom(void* host, std::uint64_t bytes);
+
+  /// Copies every from/tofrom mapping back to its host location.
+  void Sync();
+
+  /// Device cycles spent on transfers so far (both directions).
+  std::uint64_t transfer_cycles() const { return transfer_cycles_; }
+  std::uint64_t bytes_to_device() const { return bytes_to_device_; }
+  std::uint64_t bytes_from_device() const { return bytes_from_device_; }
+
+ private:
+  struct CopyBack {
+    void* host;
+    sim::DeviceBuffer buffer;
+    /// The mapped size as requested — the device allocation is rounded up
+    /// to the allocator alignment, but only this many bytes belong to the
+    /// host object.
+    std::uint64_t bytes;
+  };
+
+  sim::Device& device_;
+  std::vector<sim::DeviceBuffer> owned_;
+  std::vector<CopyBack> copy_backs_;
+  std::uint64_t transfer_cycles_ = 0;
+  std::uint64_t bytes_to_device_ = 0;
+  std::uint64_t bytes_from_device_ = 0;
+};
+
+}  // namespace dgc::ompx

@@ -1,0 +1,77 @@
+#include "support/arena.h"
+
+#include <cstring>
+#include <string_view>
+
+#include "support/status.h"
+
+namespace dgc {
+
+Arena::Arena(std::size_t block_bytes) : block_bytes_(block_bytes) {
+  DGC_CHECK(block_bytes_ > 0);
+}
+
+Arena::Block& Arena::NewBlock(std::size_t min_bytes) {
+  // Reuse a retained block if it is large enough.
+  while (active_ < blocks_.size()) {
+    Block& candidate = blocks_[active_];
+    if (candidate.size >= min_bytes) {
+      candidate.used = 0;
+      ++active_;
+      return candidate;
+    }
+    // Too small for this request; skip it for now (it may serve later
+    // requests after the next Reset).
+    std::swap(candidate, blocks_.back());
+    bytes_reserved_ -= blocks_.back().size;
+    blocks_.pop_back();
+  }
+  const std::size_t size = std::max(block_bytes_, min_bytes);
+  Block block;
+  block.data = std::make_unique<std::byte[]>(size);
+  block.size = size;
+  bytes_reserved_ += size;
+  blocks_.push_back(std::move(block));
+  ++active_;
+  return blocks_.back();
+}
+
+void* Arena::Allocate(std::size_t bytes, std::size_t align) {
+  DGC_CHECK((align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  // Align the *absolute address*, not the intra-block offset: the block's
+  // base is only guaranteed operator-new alignment, which can be below the
+  // requested one.
+  auto aligned_offset = [align](const Block& b) {
+    const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    return std::size_t(((base + b.used + align - 1) & ~std::uintptr_t(align - 1)) -
+                       base);
+  };
+  Block* block = active_ > 0 ? &blocks_[active_ - 1] : nullptr;
+  std::size_t offset = 0;
+  if (block != nullptr) {
+    offset = aligned_offset(*block);
+    if (offset + bytes > block->size) block = nullptr;
+  }
+  if (block == nullptr) {
+    block = &NewBlock(bytes + align);
+    offset = aligned_offset(*block);
+  }
+  block->used = offset + bytes;
+  bytes_allocated_ += bytes;
+  return block->data.get() + offset;
+}
+
+char* Arena::StrDup(std::string_view s) {
+  char* out = static_cast<char*>(Allocate(s.size() + 1, 1));
+  std::memcpy(out, s.data(), s.size());
+  out[s.size()] = '\0';
+  return out;
+}
+
+void Arena::Reset() {
+  active_ = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace dgc

@@ -1,0 +1,63 @@
+// Bump-pointer arena.
+//
+// The warp scheduler allocates one coroutine frame per simulated device
+// function call; recycling those frames through an arena keeps the simulator
+// allocation-free on its hot path. Also used by the loaders to build
+// per-instance argv blocks with stable addresses (the paper's StringCache).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dgc {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = 64 * 1024);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Returns `bytes` of storage aligned to `align` (power of two).
+  void* Allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  /// Copies a string into the arena and returns a NUL-terminated pointer
+  /// that stays valid for the arena's lifetime.
+  char* StrDup(std::string_view s);
+
+  /// Constructs a T in arena storage. T must be trivially destructible
+  /// (the arena never runs destructors).
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return ::new (Allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  /// Releases all allocations but keeps the blocks for reuse.
+  void Reset();
+
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  Block& NewBlock(std::size_t min_bytes);
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  // blocks[0..active_) are (partially) used
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace dgc

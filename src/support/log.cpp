@@ -1,0 +1,60 @@
+#include "support/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dgc {
+namespace {
+
+LogLevel InitialLevel() {
+  if (const char* env = std::getenv("DGC_LOG")) {
+    LogLevel level;
+    if (ParseLogLevel(env, level)) return level;
+  }
+  return LogLevel::kWarning;
+}
+
+LogLevel& GlobalLevel() {
+  static LogLevel level = InitialLevel();
+  return level;
+}
+
+std::string_view LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+char ToLowerAscii(char c) { return (c >= 'A' && c <= 'Z') ? char(c - 'A' + 'a') : c; }
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { GlobalLevel() = level; }
+LogLevel GetLogLevel() { return GlobalLevel(); }
+
+bool ParseLogLevel(std::string_view text, LogLevel& out) {
+  std::string lower(text);
+  for (char& c : lower) c = ToLowerAscii(c);
+  if (lower == "debug") out = LogLevel::kDebug;
+  else if (lower == "info") out = LogLevel::kInfo;
+  else if (lower == "warning" || lower == "warn") out = LogLevel::kWarning;
+  else if (lower == "error") out = LogLevel::kError;
+  else if (lower == "off" || lower == "none") out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+namespace detail {
+void Emit(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[dgc %s] %.*s\n", LevelTag(level).data(),
+               int(message.size()), message.data());
+}
+}  // namespace detail
+
+}  // namespace dgc

@@ -1,0 +1,81 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/status.h"
+#include "support/str.h"
+
+namespace dgc {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / double(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / double(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  DGC_CHECK(buckets > 0);
+  DGC_CHECK(hi > lo);
+}
+
+void Histogram::Add(double x) {
+  const double span = hi_ - lo_;
+  double t = (x - lo_) / span * double(counts_.size());
+  std::size_t idx;
+  if (t < 0) {
+    idx = 0;
+  } else if (t >= double(counts_.size())) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = std::size_t(t);
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * double(total_);
+  double cumulative = 0;
+  const double width = (hi_ - lo_) / double(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + double(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] == 0 ? 0.0 : (target - cumulative) / double(counts_[i]);
+      return lo_ + (double(i) + frac) * width;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString() const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  const double width = (hi_ - lo_) / double(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const int bar = int(40.0 * double(counts_[i]) / double(peak));
+    out += StrFormat("[%10.3g, %10.3g) %8llu %s\n", lo_ + double(i) * width,
+                     lo_ + double(i + 1) * width,
+                     (unsigned long long)counts_[i],
+                     std::string(std::size_t(bar), '#').c_str());
+  }
+  return out;
+}
+
+}  // namespace dgc

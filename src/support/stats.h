@@ -1,0 +1,58 @@
+// Streaming statistics and fixed-bucket histograms, used by the simulator's
+// counters and by the benchmark harnesses' reporting.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dgc {
+
+/// Welford's online mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Sample variance (n-1); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over [lo, hi) with uniform buckets; out-of-range samples land
+/// in saturating edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+  std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+
+  /// Approximate quantile in [0,1] by bucket interpolation.
+  double Quantile(double q) const;
+
+  /// Compact ASCII rendering for logs.
+  std::string ToString() const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dgc

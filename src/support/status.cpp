@@ -1,0 +1,35 @@
+#include "support/status.h"
+
+namespace dgc {
+
+std::string_view ToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kOutOfMemory: return "OutOfMemory";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kFailedPrecondition: return "FailedPrecondition";
+    case ErrorCode::kUnsupported: return "Unsupported";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(dgc::ToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace detail {
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& extra) {
+  std::fprintf(stderr, "DGC_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               extra.empty() ? "" : " — ", extra.c_str());
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace dgc

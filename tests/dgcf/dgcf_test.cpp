@@ -1,0 +1,360 @@
+// Tests for the direct-GPU-compilation framework: app registry, host RPC,
+// device libc, argv marshalling, and the single-instance (baseline) loader.
+#include <gtest/gtest.h>
+
+#include "dgcf/app.h"
+#include "dgcf/argv.h"
+#include "dgcf/libc.h"
+#include "dgcf/loader.h"
+#include "dgcf/rpc.h"
+#include "ompx/league.h"
+#include "support/str.h"
+
+namespace dgc::dgcf {
+namespace {
+
+using ompx::TeamCtx;
+using sim::Device;
+using sim::DeviceSpec;
+using sim::DeviceTask;
+using sim::ThreadCtx;
+
+struct Env {
+  Device device{DeviceSpec::TestDevice()};
+  RpcHost rpc{device};
+  DeviceLibc libc{device};
+  AppEnv app_env{&device, &rpc, &libc};
+};
+
+// A miniature "legacy CPU application": parses -n <count> and -x <value>,
+// device-mallocs a vector, fills it in parallel, reduces, prints the total,
+// and returns 0 (or a usage / OOM error).
+DeviceTask<int> TestAppMain(AppEnv& env, TeamCtx& team, int argc,
+                            DeviceArgv argv) {
+  std::uint64_t n = 0;
+  double x = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (DeviceLibc::StrCmp(argv[i], "-n") == 0 && i + 1 < argc) {
+      n = std::uint64_t(std::strtoll(DeviceLibc::ToString(argv[++i]).c_str(),
+                                     nullptr, 10));
+    } else if (DeviceLibc::StrCmp(argv[i], "-x") == 0 && i + 1 < argc) {
+      x = std::strtod(DeviceLibc::ToString(argv[++i]).c_str(), nullptr);
+    } else {
+      co_return kExitUsage;
+    }
+  }
+  if (n == 0) co_return kExitUsage;
+
+  sim::DeviceBuffer buf =
+      co_await env.libc->Malloc(*team.hw, n * sizeof(double));
+  if (buf.host == nullptr) co_return kExitNoMem;
+  auto p = buf.Typed<double>();
+
+  co_await ompx::ParallelFor(
+      team, n, [&](ThreadCtx& ctx, std::uint64_t i) -> DeviceTask<void> {
+        co_await ctx.Store(p + i, x);
+      });
+
+  double sum = 0;
+  co_await ompx::Parallel(
+      team, [&](ThreadCtx&, std::uint32_t rank,
+                std::uint32_t size) -> DeviceTask<void> {
+        double local = 0;
+        for (std::uint64_t i = rank; i < n; i += size) {
+          local += co_await team.hw->Load(p + i);
+        }
+        const double total = co_await ompx::TeamReduceSum(team, local);
+        if (rank == 0) sum = total;
+      });
+
+  co_await env.rpc->Print(*team.hw, StrFormat("sum=%.1f\n", sum));
+  co_await env.libc->Free(*team.hw, buf.addr);
+  co_return kExitOk;
+}
+
+DGC_REGISTER_APP(testapp, "fill-and-reduce smoke app", TestAppMain)
+
+TEST(AppRegistry, FindRegisteredApp) {
+  auto app = AppRegistry::Instance().Find("testapp");
+  ASSERT_TRUE(app.ok());
+  EXPECT_EQ((*app)->name, "testapp");
+  EXPECT_FALSE((*app)->description.empty());
+}
+
+TEST(AppRegistry, UnknownAppIsNotFound) {
+  auto app = AppRegistry::Instance().Find("no-such-app");
+  ASSERT_FALSE(app.ok());
+  EXPECT_EQ(app.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(AppRegistry, NamesListed) {
+  auto names = AppRegistry::Instance().Names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "testapp"), names.end());
+}
+
+TEST(ArgvBlock, PaperFigure4Layout) {
+  Env env;
+  // The four command lines of Fig. 5b, with argv[0] prepended (Fig. 4).
+  std::vector<std::vector<std::string>> args{
+      {"user_app", "-a", "1", "-b", "-c", "data-1.bin"},
+      {"user_app", "-a", "2", "-b", "-c", "data-2.bin"},
+      {"user_app", "-a", "1", "-b", "-c", "data-3.bin"},
+      {"user_app", "-a", "3", "-b", "-c", "data-4.bin"},
+  };
+  auto block = ArgvBlock::Build(env.device, args);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->instances(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(block->argc(i), 6);
+    EXPECT_EQ(DeviceLibc::ToString(block->argv(i)[0]), "user_app");
+    EXPECT_EQ(DeviceLibc::ToString(block->argv(i)[5]),
+              StrFormat("data-%u.bin", i + 1));
+    // Strings live in device memory.
+    EXPECT_TRUE(env.device.memory().Contains(block->argv(i)[5].addr, 11));
+  }
+  EXPECT_GT(block->transfer_cycles(), 0u);
+}
+
+TEST(ArgvBlock, RejectsEmptyInstances) {
+  Env env;
+  EXPECT_FALSE(ArgvBlock::Build(env.device, {}).ok());
+  EXPECT_FALSE(ArgvBlock::Build(env.device, {{}}).ok());
+}
+
+TEST(ArgvBlock, FreesCacheOnDestruction) {
+  Env env;
+  const auto before = env.device.memory().allocation_count();
+  {
+    auto block = ArgvBlock::Build(env.device, {{"a", "b"}});
+    ASSERT_TRUE(block.ok());
+    EXPECT_EQ(env.device.memory().allocation_count(), before + 1);
+  }
+  EXPECT_EQ(env.device.memory().allocation_count(), before);
+}
+
+TEST(RpcHost, PrintCollectsInServiceOrder) {
+  Env env;
+  ompx::TeamsConfig cfg{.num_teams = 1, .thread_limit = 1};
+  auto result = ompx::LaunchTeams(
+      env.device, cfg, [&](TeamCtx& team) -> DeviceTask<void> {
+        co_await env.rpc.Print(*team.hw, "hello ");
+        co_await env.rpc.Print(*team.hw, "world\n");
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(env.rpc.stdout_text(), "hello world\n");
+  EXPECT_EQ(env.rpc.calls_serviced(), 2u);
+  // Two round trips dominate this kernel's runtime.
+  EXPECT_GE(result->stats.elapsed_cycles,
+            2ull * env.device.spec().rpc_roundtrip_cycles);
+}
+
+TEST(RpcHost, FileReadIntoDeviceMemory) {
+  Env env;
+  env.rpc.AddTextFile("data.bin", "0123456789");
+  auto buf = *env.device.Malloc(16);
+  ompx::TeamsConfig cfg{.num_teams = 1, .thread_limit = 1};
+  std::int64_t got_size = -2, got_read = -2, got_missing = -2;
+  auto result = ompx::LaunchTeams(
+      env.device, cfg, [&](TeamCtx& team) -> DeviceTask<void> {
+        got_size = co_await env.rpc.FileSize(*team.hw, "data.bin");
+        got_read = co_await env.rpc.ReadFile(
+            *team.hw, "data.bin", buf.Typed<std::byte>(), 2, 4);
+        got_missing = co_await env.rpc.FileSize(*team.hw, "nope.bin");
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(got_size, 10);
+  EXPECT_EQ(got_read, 4);
+  EXPECT_EQ(got_missing, -1);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf.host), 4), "2345");
+}
+
+TEST(DeviceLibc, MallocFreeAccounting) {
+  Env env;
+  ompx::TeamsConfig cfg{.num_teams = 1, .thread_limit = 1};
+  auto result = ompx::LaunchTeams(
+      env.device, cfg, [&](TeamCtx& team) -> DeviceTask<void> {
+        auto a = co_await env.libc.Malloc(*team.hw, 1024);
+        auto b = co_await env.libc.Malloc(*team.hw, 2048);
+        if (a.host == nullptr || b.host == nullptr) {
+          throw std::runtime_error("unexpected OOM");
+        }
+        co_await env.libc.Free(*team.hw, a.addr);
+        co_await env.libc.Free(*team.hw, b.addr);
+        co_await env.libc.Free(*team.hw, 0);  // free(NULL) is a no-op
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(env.libc.live_allocations(), 0u);
+  EXPECT_EQ(env.libc.failed_allocations(), 0u);
+}
+
+TEST(DeviceLibc, MallocReturnsNullOnOom) {
+  Env env;
+  ompx::TeamsConfig cfg{.num_teams = 1, .thread_limit = 1};
+  bool got_null = false;
+  auto result = ompx::LaunchTeams(
+      env.device, cfg, [&](TeamCtx& team) -> DeviceTask<void> {
+        auto huge = co_await env.libc.Malloc(
+            *team.hw, env.device.spec().global_memory_bytes * 2);
+        got_null = huge.host == nullptr;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(got_null);
+  EXPECT_EQ(env.libc.failed_allocations(), 1u);
+}
+
+TEST(DeviceLibc, StringHelpers) {
+  Env env;
+  auto buf = *env.device.Malloc(32);
+  char* s = reinterpret_cast<char*>(buf.host);
+  std::strcpy(s, "-n");
+  auto p = buf.Typed<char>();
+  EXPECT_EQ(DeviceLibc::StrLen(p), 2u);
+  EXPECT_EQ(DeviceLibc::StrCmp(p, "-n"), 0);
+  EXPECT_LT(DeviceLibc::StrCmp(p, "-x"), 0);
+  EXPECT_GT(DeviceLibc::StrCmp(p, "-a"), 0);
+  EXPECT_EQ(DeviceLibc::ToString(p), "-n");
+}
+
+TEST(SingleLoader, RunsAppEndToEnd) {
+  Env env;
+  SingleRunOptions opt;
+  opt.app = "testapp";
+  opt.args = {"-n", "500", "-x", "2.0"};
+  opt.thread_limit = 64;
+  auto run = RunSingleInstance(env.app_env, opt);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->instances.size(), 1u);
+  EXPECT_TRUE(run->instances[0].completed);
+  EXPECT_EQ(run->instances[0].exit_code, kExitOk);
+  EXPECT_EQ(env.rpc.stdout_text(), "sum=1000.0\n");
+  EXPECT_GT(run->kernel_cycles, 0u);
+  EXPECT_GT(run->transfer_cycles, 0u);
+  EXPECT_TRUE(run->all_ok());
+}
+
+TEST(SingleLoader, UsageErrorSurfacesAsExitCode) {
+  Env env;
+  SingleRunOptions opt;
+  opt.app = "testapp";
+  opt.args = {"--bogus"};
+  opt.thread_limit = 32;
+  auto run = RunSingleInstance(env.app_env, opt);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->instances[0].completed);
+  EXPECT_EQ(run->instances[0].exit_code, kExitUsage);
+  EXPECT_FALSE(run->all_ok());
+}
+
+TEST(SingleLoader, OomSurfacesAsExitCode) {
+  Env env;
+  SingleRunOptions opt;
+  opt.app = "testapp";
+  // 64 MiB test device: ask for 100M doubles.
+  opt.args = {"-n", "100000000"};
+  opt.thread_limit = 32;
+  auto run = RunSingleInstance(env.app_env, opt);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->instances[0].exit_code, kExitNoMem);
+}
+
+TEST(SingleLoader, UnknownAppFails) {
+  Env env;
+  SingleRunOptions opt;
+  opt.app = "missing";
+  auto run = RunSingleInstance(env.app_env, opt);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(SingleLoader, ThreadLimitChangesParallelPerformance) {
+  Env env;
+  auto time_with = [&](std::uint32_t tl) {
+    SingleRunOptions opt;
+    opt.app = "testapp";
+    opt.args = {"-n", "20000"};
+    opt.thread_limit = tl;
+    auto run = RunSingleInstance(env.app_env, opt);
+    EXPECT_TRUE(run.ok());
+    return run->kernel_cycles;
+  };
+  const auto t1 = time_with(1);
+  const auto t64 = time_with(64);
+  EXPECT_GT(t1, t64);  // the parallel fill/reduce dominates
+}
+
+}  // namespace
+}  // namespace dgc::dgcf
+
+namespace dgc::dgcf {
+namespace {
+
+using ompx::TeamsConfig;
+
+TEST(DeviceLibc, MemsetFillsExactRange) {
+  Env env;
+  auto buf = *env.device.Malloc(256);
+  std::memset(buf.host, 0xEE, 256);
+  TeamsConfig cfg{.num_teams = 1, .thread_limit = 1};
+  auto result = ompx::LaunchTeams(
+      env.device, cfg, [&](ompx::TeamCtx& team) -> sim::DeviceTask<void> {
+        // 100 bytes starting at offset 3: straddles word boundaries.
+        co_await DeviceLibc::Memset(*team.hw,
+                                    buf.Typed<std::uint8_t>(3), 0xAB, 100);
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok());
+  auto* bytes = reinterpret_cast<unsigned char*>(buf.host);
+  EXPECT_EQ(bytes[2], 0xEE);
+  for (int i = 3; i < 103; ++i) ASSERT_EQ(bytes[i], 0xAB) << i;
+  EXPECT_EQ(bytes[103], 0xEE);
+}
+
+TEST(DeviceLibc, MemcpyCopiesAndCharges) {
+  Env env;
+  const std::uint64_t n = 1000;
+  auto src = *env.device.Malloc(n);
+  auto dst = *env.device.Malloc(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    src.host[i] = std::byte(i & 0xff);
+    dst.host[i] = std::byte{0};
+  }
+  TeamsConfig cfg{.num_teams = 1, .thread_limit = 1};
+  auto result = ompx::LaunchTeams(
+      env.device, cfg, [&](ompx::TeamCtx& team) -> sim::DeviceTask<void> {
+        co_await DeviceLibc::Memcpy(*team.hw, dst.Typed<std::uint8_t>(),
+                                    src.Typed<std::uint8_t>(), n);
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(std::memcmp(src.host, dst.host, n), 0);
+  // Traffic was charged: ~2n bytes of sectors touched.
+  EXPECT_GE(result->stats.global_sectors, 2 * n / 32);
+}
+
+TEST(RpcHost, WriteFileRoundTrip) {
+  Env env;
+  auto buf = *env.device.Malloc(16);
+  std::memcpy(buf.host, "ensemble result!", 16);
+  TeamsConfig cfg{.num_teams = 1, .thread_limit = 1};
+  std::int64_t wrote = 0;
+  auto result = ompx::LaunchTeams(
+      env.device, cfg, [&](ompx::TeamCtx& team) -> sim::DeviceTask<void> {
+        wrote = co_await env.rpc.WriteFile(
+            *team.hw, "out.bin", buf.Typed<const std::byte>(), 16);
+        // Second write appends.
+        co_await env.rpc.WriteFile(*team.hw, "out.bin",
+                                   buf.Typed<const std::byte>(), 8);
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(wrote, 16);
+  const auto* file = env.rpc.GetFile("out.bin");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(file->size(), 24u);
+  EXPECT_EQ(std::memcmp(file->data(), "ensemble result!", 16), 0);
+  EXPECT_EQ(std::memcmp(file->data() + 16, "ensemble", 8), 0);
+  EXPECT_EQ(env.rpc.GetFile("missing.bin"), nullptr);
+}
+
+}  // namespace
+}  // namespace dgc::dgcf

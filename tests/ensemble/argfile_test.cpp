@@ -1,0 +1,88 @@
+#include "ensemble/argfile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace dgc::ensemble {
+namespace {
+
+TEST(ArgFile, PaperFigure5b) {
+  const char* content =
+      "-a 1 -b -c data-1.bin\n"
+      "-a 2 -b -c data-2.bin\n"
+      "-a 1 -b -c data-3.bin\n"
+      "-a 3 -b -c data-4.bin\n";
+  auto lines = ParseArgumentLines(content);
+  ASSERT_TRUE(lines.ok());
+  ASSERT_EQ(lines->size(), 4u);
+  EXPECT_EQ((*lines)[0],
+            (std::vector<std::string>{"-a", "1", "-b", "-c", "data-1.bin"}));
+  EXPECT_EQ((*lines)[3],
+            (std::vector<std::string>{"-a", "3", "-b", "-c", "data-4.bin"}));
+}
+
+TEST(ArgFile, CommentsAndBlankLinesSkipped) {
+  const char* content =
+      "# ensemble inputs\n"
+      "\n"
+      "-n 100   # trailing comment\n"
+      "   \n"
+      "-n 200\n";
+  auto lines = ParseArgumentLines(content);
+  ASSERT_TRUE(lines.ok());
+  ASSERT_EQ(lines->size(), 2u);
+  EXPECT_EQ((*lines)[0], (std::vector<std::string>{"-n", "100"}));
+}
+
+TEST(ArgFile, QuotedHashIsNotComment) {
+  auto lines = ParseArgumentLines("-m '#5' -x \"a # b\"\n");
+  ASSERT_TRUE(lines.ok());
+  EXPECT_EQ((*lines)[0], (std::vector<std::string>{"-m", "#5", "-x", "a # b"}));
+}
+
+TEST(ArgFile, QuotedArgumentsKeepSpaces) {
+  auto lines = ParseArgumentLines("-m 'hello world'\n-m plain\n");
+  ASSERT_TRUE(lines.ok());
+  EXPECT_EQ((*lines)[0][1], "hello world");
+}
+
+TEST(ArgFile, EmptyFileIsAnError) {
+  EXPECT_FALSE(ParseArgumentLines("").ok());
+  EXPECT_FALSE(ParseArgumentLines("# only comments\n\n").ok());
+}
+
+TEST(ArgFile, BadQuoteReportsLineNumber) {
+  auto lines = ParseArgumentLines("-a 1\n-b 'oops\n");
+  ASSERT_FALSE(lines.ok());
+  EXPECT_NE(lines.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ArgFile, LoadFromDisk) {
+  const std::string path = testing::TempDir() + "/dgc_argfile_test.txt";
+  {
+    std::ofstream out(path);
+    out << "-s 1\n-s 2\n";
+  }
+  auto lines = LoadArgumentFile(path);
+  ASSERT_TRUE(lines.ok());
+  EXPECT_EQ(lines->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ArgFile, MissingFileIsNotFound) {
+  auto lines = LoadArgumentFile("/nonexistent/args.txt");
+  ASSERT_FALSE(lines.ok());
+  EXPECT_EQ(lines.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ArgFile, WindowsLineEndings) {
+  auto lines = ParseArgumentLines("-a 1\r\n-a 2\r\n");
+  ASSERT_TRUE(lines.ok());
+  ASSERT_EQ(lines->size(), 2u);
+  EXPECT_EQ((*lines)[0], (std::vector<std::string>{"-a", "1"}));
+}
+
+}  // namespace
+}  // namespace dgc::ensemble

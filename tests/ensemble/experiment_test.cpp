@@ -1,0 +1,175 @@
+// Tests for the evaluation harness (ensemble/experiment.h) — the machinery
+// that regenerates the paper's Fig. 6 series.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "apps/common.h"
+#include "ensemble/experiment.h"
+#include "gpusim/device_spec.h"
+#include "support/str.h"
+
+namespace dgc::ensemble {
+namespace {
+
+class ExperimentTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() { apps::RegisterAllApps(); }
+
+  static ExperimentConfig SmallConfig() {
+    ExperimentConfig cfg;
+    cfg.app = "rsbench";
+    cfg.args_for_instance = [](std::uint32_t i) {
+      return std::vector<std::string>{"-u", "6", "-w", "4", "-l", "64",
+                                      "-s", StrFormat("%u", i + 1)};
+    };
+    cfg.instance_counts = {1, 2, 4};
+    cfg.thread_limit = 32;
+    cfg.spec = sim::DeviceSpec::TestDevice();
+    return cfg;
+  }
+};
+
+TEST_F(ExperimentTest, MeasuresAllPoints) {
+  auto series = MeasureSpeedup(SmallConfig());
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  ASSERT_EQ(series->points.size(), 3u);
+  EXPECT_DOUBLE_EQ(series->points[0].speedup, 1.0);
+  for (const auto& p : series->points) {
+    EXPECT_TRUE(p.ran);
+    EXPECT_GT(p.cycles, 0u);
+    EXPECT_GT(p.speedup, 0.0);
+    // Near-sub-linear: instances run DIFFERENT seeds, so TN is bounded by
+    // the slowest instance, not instance 0's T1 — allow a small excess.
+    EXPECT_LE(p.speedup, double(p.instances) * 1.05);
+  }
+  EXPECT_EQ(series->app, "rsbench");
+  EXPECT_EQ(series->thread_limit, 32u);
+}
+
+TEST_F(ExperimentTest, SpeedupFormulaIsT1TimesNOverTN) {
+  auto series = MeasureSpeedup(SmallConfig());
+  ASSERT_TRUE(series.ok());
+  const double t1 = double(series->points[0].cycles);
+  for (const auto& p : series->points) {
+    EXPECT_NEAR(p.speedup, t1 * p.instances / double(p.cycles), 1e-9);
+  }
+}
+
+TEST_F(ExperimentTest, DeterministicAcrossInvocations) {
+  auto a = MeasureSpeedup(SmallConfig());
+  auto b = MeasureSpeedup(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < a->points.size(); ++i) {
+    EXPECT_EQ(a->points[i].cycles, b->points[i].cycles);
+  }
+}
+
+TEST_F(ExperimentTest, OomConfigurationsAreSkippedNotFatal) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.app = "pagerank";
+  // 64 MiB test device; each instance ~11 MiB → 8 instances cannot fit.
+  cfg.args_for_instance = [](std::uint32_t i) {
+    return std::vector<std::string>{"-g", "150000", "-d", "12",
+                                    "-s", StrFormat("%u", i + 1)};
+  };
+  cfg.instance_counts = {1, 2, 8};
+  auto series = MeasureSpeedup(cfg);
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  EXPECT_TRUE(series->points[0].ran);
+  EXPECT_TRUE(series->points[1].ran);
+  EXPECT_FALSE(series->points[2].ran);
+  EXPECT_NE(series->points[2].note.find("memory"), std::string::npos);
+}
+
+TEST_F(ExperimentTest, RequiresLeadingOne) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.instance_counts = {2, 4};
+  EXPECT_FALSE(MeasureSpeedup(cfg).ok());
+  cfg.instance_counts = {};
+  EXPECT_FALSE(MeasureSpeedup(cfg).ok());
+}
+
+TEST_F(ExperimentTest, RequiresArgsBuilder) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.args_for_instance = nullptr;
+  EXPECT_FALSE(MeasureSpeedup(cfg).ok());
+}
+
+TEST_F(ExperimentTest, UnknownAppPropagates) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.app = "ghost";
+  auto series = MeasureSpeedup(cfg);
+  ASSERT_FALSE(series.ok());
+  EXPECT_EQ(series.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ExperimentTest, MaxSpeedupPicksLargestRanPoint) {
+  SpeedupSeries s;
+  s.points.push_back({.instances = 1, .ran = true, .speedup = 1.0});
+  s.points.push_back({.instances = 2, .ran = true, .speedup = 1.8});
+  s.points.push_back({.instances = 4, .ran = false, .speedup = 0.0});
+  EXPECT_DOUBLE_EQ(s.MaxSpeedup(), 1.8);
+}
+
+TEST_F(ExperimentTest, TableFormatsLinearRowAndSkips) {
+  SpeedupSeries s;
+  s.app = "demo";
+  s.points.push_back({.instances = 1, .ran = true, .speedup = 1.0});
+  s.points.push_back({.instances = 2, .ran = false, .note = "oom"});
+  const std::string table = FormatSpeedupTable({s});
+  EXPECT_NE(table.find("Linear"), std::string::npos);
+  EXPECT_NE(table.find("demo"), std::string::npos);
+  EXPECT_NE(table.find("-"), std::string::npos);  // the skipped point
+  EXPECT_EQ(FormatSpeedupTable({}), "(no series)\n");
+}
+
+TEST_F(ExperimentTest, MultiDimMappingConfigRuns) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.thread_limit = 16;
+  cfg.teams_per_block = 2;
+  auto series = MeasureSpeedup(cfg);
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  for (const auto& p : series->points) EXPECT_TRUE(p.ran);
+}
+
+}  // namespace
+}  // namespace dgc::ensemble
+
+namespace dgc::ensemble {
+namespace {
+
+TEST(SpeedupCsv, FormatsHeaderAndRows) {
+  SpeedupSeries s;
+  s.app = "demo";
+  s.thread_limit = 32;
+  s.points.push_back({.instances = 1, .ran = true, .cycles = 100, .speedup = 1.0});
+  s.points.push_back({.instances = 8, .ran = false, .note = "oom"});
+  const std::string csv = FormatSpeedupCsv({s});
+  EXPECT_NE(csv.find("benchmark,thread_limit,instances,ran,cycles,speedup"),
+            std::string::npos);
+  EXPECT_NE(csv.find("demo,32,1,1,100,1.000000"), std::string::npos);
+  EXPECT_NE(csv.find("demo,32,8,0,0,0.000000"), std::string::npos);
+}
+
+TEST(SpeedupCsv, WritesAndReadsBack) {
+  SpeedupSeries s;
+  s.app = "demo";
+  s.thread_limit = 1024;
+  s.points.push_back({.instances = 2, .ran = true, .cycles = 7, .speedup = 1.9});
+  const std::string path = testing::TempDir() + "/dgc_csv_test.csv";
+  ASSERT_TRUE(WriteSpeedupCsv({s}, path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, FormatSpeedupCsv({s}));
+  std::remove(path.c_str());
+}
+
+TEST(SpeedupCsv, BadPathFails) {
+  EXPECT_FALSE(WriteSpeedupCsv({}, "/nonexistent/dir/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace dgc::ensemble

@@ -1,0 +1,81 @@
+#include "gpusim/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace dgc::sim {
+namespace {
+
+TEST(SectorCache, MissThenHit) {
+  SectorCache cache(1024, 32, 4);  // 8 sets × 4 ways
+  EXPECT_FALSE(cache.Access(7));
+  EXPECT_TRUE(cache.Access(7));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SectorCache, ProbeDoesNotDisturb) {
+  SectorCache cache(1024, 32, 4);
+  cache.Access(3);
+  EXPECT_TRUE(cache.Probe(3));
+  EXPECT_FALSE(cache.Probe(4));
+  EXPECT_EQ(cache.hits(), 0u);  // probes are not counted
+}
+
+TEST(SectorCache, LruEviction) {
+  SectorCache cache(2 * 32, 32, 2);  // 1 set × 2 ways
+  cache.Access(0);
+  cache.Access(1);
+  cache.Access(0);  // 0 most recent
+  cache.Access(2);  // evicts 1
+  EXPECT_TRUE(cache.Probe(0));
+  EXPECT_FALSE(cache.Probe(1));
+  EXPECT_TRUE(cache.Probe(2));
+}
+
+TEST(SectorCache, SetConflictsOnlyWithinSet) {
+  SectorCache cache(8 * 32, 32, 1);  // 8 sets × 1 way, direct-mapped
+  cache.Access(0);
+  cache.Access(8);  // same set (0 % 8), evicts 0
+  EXPECT_FALSE(cache.Probe(0));
+  cache.Access(1);  // different set, no interference
+  EXPECT_TRUE(cache.Probe(8));
+}
+
+TEST(SectorCache, ClearResets) {
+  SectorCache cache(1024, 32, 4);
+  cache.Access(5);
+  cache.Clear();
+  EXPECT_FALSE(cache.Probe(5));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(SectorCache, WorkingSetSmallerThanCacheAlwaysHitsAfterWarmup) {
+  SectorCache cache(64 * 32, 32, 4);
+  for (std::uint64_t s = 0; s < 32; ++s) cache.Access(s);
+  const std::uint64_t misses_after_warmup = cache.misses();
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t s = 0; s < 32; ++s) EXPECT_TRUE(cache.Access(s));
+  }
+  EXPECT_EQ(cache.misses(), misses_after_warmup);
+}
+
+TEST(SectorCache, StreamingNeverHits) {
+  SectorCache cache(64 * 32, 32, 4);
+  for (std::uint64_t s = 0; s < 10000; ++s) EXPECT_FALSE(cache.Access(s));
+}
+
+// Property: hits + misses == accesses for any access pattern.
+TEST(SectorCacheProperty, AccountingConsistent) {
+  SectorCache cache(32 * 32, 32, 2);
+  Rng rng(123);
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) cache.Access(rng.NextBounded(256));
+  EXPECT_EQ(cache.hits() + cache.misses(), std::uint64_t(n));
+  EXPECT_GT(cache.hits(), 0u);  // 256 sectors over 64 slots: some locality
+}
+
+}  // namespace
+}  // namespace dgc::sim

@@ -1,0 +1,249 @@
+// Tests for the pipelined batch-load (Gather / LoadRun) mechanism.
+#include <gtest/gtest.h>
+
+#include "gpusim/block.h"
+#include "gpusim/ctx.h"
+#include "gpusim/device.h"
+
+namespace dgc::sim {
+namespace {
+
+std::unique_ptr<Device> MakeDevice() {
+  return std::make_unique<Device>(DeviceSpec::TestDevice());
+}
+
+TEST(Gather, LoadsAllValuesInOrder) {
+  auto dev = MakeDevice();
+  const int n = 64;
+  auto buf = *dev->Malloc(n * sizeof(double));
+  auto p = buf.Typed<double>();
+  for (int i = 0; i < n; ++i) p[i] = i * 1.5;
+
+  std::vector<double> seen(n, 0);
+  LaunchConfig cfg{.grid = {1, 1, 1}, .block = {1, 1, 1}};
+  auto result = dev->Launch(cfg, [&](ThreadCtx& ctx) -> DeviceTask<void> {
+    auto g = ctx.LoadRun(p, n);
+    co_await g;
+    for (int i = 0; i < n; ++i) seen[std::size_t(i)] = g.Result(std::uint32_t(i));
+  });
+  ASSERT_TRUE(result.ok());
+  for (int i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(seen[std::size_t(i)], i * 1.5);
+}
+
+TEST(Gather, ArbitraryAddressesAndTypes) {
+  auto dev = MakeDevice();
+  auto buf = *dev->Malloc(256 * sizeof(std::uint32_t));
+  auto p = buf.Typed<std::uint32_t>();
+  for (int i = 0; i < 256; ++i) p[i] = std::uint32_t(i * i);
+
+  std::uint64_t sum = 0;
+  LaunchConfig cfg{.grid = {1, 1, 1}, .block = {1, 1, 1}};
+  auto result = dev->Launch(cfg, [&](ThreadCtx& ctx) -> DeviceTask<void> {
+    auto g = ctx.Gather<std::uint32_t>();
+    for (int i = 0; i < 10; ++i) g.Add(p + i * 25);  // scattered
+    co_await g;
+    for (std::uint32_t i = 0; i < 10; ++i) sum += g.Result(i);
+  });
+  ASSERT_TRUE(result.ok());
+  std::uint64_t expect = 0;
+  for (int i = 0; i < 10; ++i) expect += std::uint64_t(i * 25) * (i * 25);
+  EXPECT_EQ(sum, expect);
+}
+
+TEST(Gather, EmptyGatherIsReadyImmediately) {
+  auto dev = MakeDevice();
+  LaunchConfig cfg{.grid = {1, 1, 1}, .block = {1, 1, 1}};
+  auto result = dev->Launch(cfg, [&](ThreadCtx& ctx) -> DeviceTask<void> {
+    auto g = ctx.Gather<double>();
+    co_await g;  // count == 0: must not suspend or deadlock
+    co_await ctx.Work(1);
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok());
+}
+
+TEST(Gather, CapacitySaturatesAtKMaxGather) {
+  auto dev = MakeDevice();
+  auto buf = *dev->Malloc((detail::kMaxGather + 8) * sizeof(double));
+  auto p = buf.Typed<double>();
+  LaunchConfig cfg{.grid = {1, 1, 1}, .block = {1, 1, 1}};
+  bool full_before_extra = false;
+  std::uint32_t count = 0;
+  auto result = dev->Launch(cfg, [&](ThreadCtx& ctx) -> DeviceTask<void> {
+    auto g = ctx.Gather<double>();
+    for (std::uint32_t i = 0; i < detail::kMaxGather + 8; ++i) {
+      if (i == detail::kMaxGather) full_before_extra = g.Full();
+      g.Add(p + i);
+    }
+    count = g.count;
+    co_await g;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(full_before_extra);
+  EXPECT_EQ(count, detail::kMaxGather);  // extras ignored
+}
+
+TEST(Gather, BatchIsFasterThanDependentScalarLoads) {
+  // The point of the mechanism: N independent loads in one batch pay one
+  // latency, N scalar loads pay N.
+  auto dev = MakeDevice();
+  const int n = 32, reps = 50;
+  auto buf = *dev->Malloc(std::uint64_t(n) * reps * sizeof(double));
+  auto p = buf.Typed<double>();
+
+  auto run = [&](bool batched) {
+    LaunchConfig cfg{.grid = {1, 1, 1}, .block = {32, 1, 1}};
+    auto r = dev->Launch(cfg, [&, batched](ThreadCtx& ctx) -> DeviceTask<void> {
+      double acc = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        auto base = p + rep * n;
+        if (batched) {
+          auto g = ctx.LoadRun(base, n);
+          co_await g;
+          for (int i = 0; i < n; ++i) acc += g.Result(std::uint32_t(i));
+        } else {
+          for (int i = 0; i < n; ++i) acc += co_await ctx.Load(base + i);
+        }
+      }
+      (void)acc;
+    });
+    return r->stats.elapsed_cycles;
+  };
+  const auto scalar = run(false);
+  const auto batch = run(true);
+  EXPECT_GT(scalar, batch * 5);
+}
+
+TEST(Gather, CountsSectorsLikeScalarLoads) {
+  auto dev = MakeDevice();
+  const int n = 64;  // 64 doubles = 16 sectors
+  auto buf = *dev->Malloc(n * sizeof(double));
+  auto p = buf.Typed<double>();
+  LaunchConfig cfg{.grid = {1, 1, 1}, .block = {1, 1, 1}};
+  auto result = dev->Launch(cfg, [&](ThreadCtx& ctx) -> DeviceTask<void> {
+    auto g = ctx.LoadRun(p, n);
+    co_await g;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.global_sectors, 16u);
+  EXPECT_DOUBLE_EQ(result->stats.CoalescingEfficiency(), 1.0);
+}
+
+TEST(Gather, WarpLanesCoalesceAcrossBatches) {
+  // 32 lanes each gathering their own contiguous 2-element run over a
+  // shared array: the warp instruction coalesces all 64 elements.
+  auto dev = MakeDevice();
+  auto buf = *dev->Malloc(64 * sizeof(double));
+  auto p = buf.Typed<double>();
+  LaunchConfig cfg{.grid = {1, 1, 1}, .block = {32, 1, 1}};
+  auto result = dev->Launch(cfg, [&](ThreadCtx& ctx) -> DeviceTask<void> {
+    auto g = ctx.LoadRun(p + ctx.thread_id * 2, 2);
+    co_await g;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.global_sectors, 16u);          // 512B / 32B
+  EXPECT_EQ(result->stats.load_instructions, 1u);        // one warp instr
+}
+
+TEST(Gather, MixedWithComputeAndStoresVerifies) {
+  auto dev = MakeDevice();
+  const std::uint32_t n = 512;
+  auto in = *dev->Malloc(n * sizeof(double));
+  auto out = *dev->Malloc(n * sizeof(double));
+  auto pi = in.Typed<double>(), po = out.Typed<double>();
+  for (std::uint32_t i = 0; i < n; ++i) pi[i] = i;
+
+  LaunchConfig cfg{.grid = {2, 1, 1}, .block = {64, 1, 1}};
+  auto result = dev->Launch(cfg, [&](ThreadCtx& ctx) -> DeviceTask<void> {
+    const std::uint32_t gid = ctx.block_id * ctx.block_threads + ctx.thread_id;
+    const std::uint32_t per = n / 128;
+    auto g = ctx.LoadRun(pi + gid * per, per);
+    co_await g;
+    co_await ctx.Work(10);
+    for (std::uint32_t j = 0; j < per; ++j) {
+      co_await ctx.Store(po + (gid * per + j), g.Result(j) * 3.0);
+    }
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok());
+  for (std::uint32_t i = 0; i < n; ++i) ASSERT_DOUBLE_EQ(po[i], 3.0 * i) << i;
+}
+
+}  // namespace
+}  // namespace dgc::sim
+
+namespace dgc::sim {
+namespace {
+
+TEST(Scatter, WritesAllValues) {
+  auto dev = std::make_unique<Device>(DeviceSpec::TestDevice());
+  const int n = 48;
+  auto buf = *dev->Malloc(n * sizeof(double));
+  auto p = buf.Typed<double>();
+  LaunchConfig cfg{.grid = {1, 1, 1}, .block = {1, 1, 1}};
+  auto result = dev->Launch(cfg, [&](ThreadCtx& ctx) -> DeviceTask<void> {
+    auto s = ctx.Scatter<double>();
+    for (int i = 0; i < n; ++i) s.Add(p + i, i * 2.5);
+    co_await s;
+  });
+  ASSERT_TRUE(result.ok());
+  for (int i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(p[i], i * 2.5) << i;
+  EXPECT_EQ(result->stats.store_instructions, 1u);
+}
+
+TEST(Scatter, EmptyScatterDoesNotSuspend) {
+  auto dev = std::make_unique<Device>(DeviceSpec::TestDevice());
+  LaunchConfig cfg{.grid = {1, 1, 1}, .block = {1, 1, 1}};
+  auto result = dev->Launch(cfg, [&](ThreadCtx& ctx) -> DeviceTask<void> {
+    auto s = ctx.Scatter<double>();
+    co_await s;
+    co_await ctx.Work(1);
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok());
+}
+
+TEST(Scatter, BatchedStoresFasterThanScalarChain) {
+  auto dev = std::make_unique<Device>(DeviceSpec::TestDevice());
+  const int n = 32, reps = 40;
+  auto buf = *dev->Malloc(std::uint64_t(n) * reps * sizeof(double));
+  auto p = buf.Typed<double>();
+  auto run = [&](bool batched) {
+    LaunchConfig cfg{.grid = {1, 1, 1}, .block = {32, 1, 1}};
+    auto r = dev->Launch(cfg, [&, batched](ThreadCtx& ctx) -> DeviceTask<void> {
+      for (int rep = 0; rep < reps; ++rep) {
+        auto base = p + rep * n;
+        if (batched) {
+          auto s = ctx.Scatter<double>();
+          for (int i = 0; i < n; ++i) s.Add(base + i, 1.0);
+          co_await s;
+        } else {
+          for (int i = 0; i < n; ++i) co_await ctx.Store(base + i, 1.0);
+        }
+      }
+    });
+    return r->stats.elapsed_cycles;
+  };
+  EXPECT_GT(run(false), run(true) * 3);
+}
+
+TEST(Scatter, GatherAfterScatterObservesValues) {
+  auto dev = std::make_unique<Device>(DeviceSpec::TestDevice());
+  auto buf = *dev->Malloc(64 * sizeof(std::uint64_t));
+  auto p = buf.Typed<std::uint64_t>();
+  std::uint64_t sum = 0;
+  LaunchConfig cfg{.grid = {1, 1, 1}, .block = {1, 1, 1}};
+  auto result = dev->Launch(cfg, [&](ThreadCtx& ctx) -> DeviceTask<void> {
+    auto s = ctx.Scatter<std::uint64_t>();
+    for (std::uint64_t i = 0; i < 64; ++i) s.Add(p + i, i + 1);
+    co_await s;
+    auto g = ctx.LoadRun(p, 64);
+    co_await g;
+    for (std::uint32_t i = 0; i < 64; ++i) sum += g.Result(i);
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(sum, 64u * 65u / 2);
+}
+
+}  // namespace
+}  // namespace dgc::sim

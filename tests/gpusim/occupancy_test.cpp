@@ -1,0 +1,102 @@
+#include "gpusim/occupancy.h"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/ctx.h"
+#include "gpusim/device.h"
+
+namespace dgc::sim {
+namespace {
+
+DeviceSpec A100() { return DeviceSpec::A100_40GB(); }
+
+TEST(Occupancy, SmallBlocksLimitedByBlockSlots) {
+  LaunchConfig cfg{.grid = {1000, 1, 1}, .block = {32, 1, 1}};
+  auto occ = ComputeOccupancy(A100(), cfg);
+  ASSERT_TRUE(occ.ok());
+  EXPECT_EQ(occ->warps_per_block, 1);
+  EXPECT_EQ(occ->blocks_per_sm, 32);  // A100 block-slot limit
+  EXPECT_EQ(occ->limiter, "block slots");
+  EXPECT_EQ(occ->warps_per_sm, 32);
+  EXPECT_NEAR(occ->warp_occupancy, 0.5, 1e-9);
+}
+
+TEST(Occupancy, FullBlocksLimitedByWarpContexts) {
+  LaunchConfig cfg{.grid = {64, 1, 1}, .block = {1024, 1, 1}};
+  auto occ = ComputeOccupancy(A100(), cfg);
+  ASSERT_TRUE(occ.ok());
+  EXPECT_EQ(occ->warps_per_block, 32);
+  EXPECT_EQ(occ->blocks_per_sm, 2);  // 64 warp contexts / 32
+  EXPECT_EQ(occ->limiter, "warp contexts");
+  EXPECT_NEAR(occ->warp_occupancy, 1.0, 1e-9);
+}
+
+TEST(Occupancy, SharedMemoryCanLimit) {
+  DeviceSpec spec = A100();
+  LaunchConfig cfg{.grid = {64, 1, 1},
+                   .block = {32, 1, 1},
+                   .shared_bytes = spec.shared_memory_per_block};
+  auto occ = ComputeOccupancy(spec, cfg);
+  ASSERT_TRUE(occ.ok());
+  // Pool = per-block limit × 32 slots; each block takes a full per-block
+  // quota → 32 fit; the slot limit coincides, so slots report first.
+  EXPECT_LE(occ->blocks_per_sm, 32);
+
+  // Make shared strictly binding: half the pool per block won't fit 32.
+  DeviceSpec tight = spec;
+  tight.max_blocks_per_sm = 8;
+  LaunchConfig cfg2{.grid = {64, 1, 1},
+                    .block = {32, 1, 1},
+                    .shared_bytes = spec.shared_memory_per_block};
+  auto occ2 = ComputeOccupancy(tight, cfg2);
+  ASSERT_TRUE(occ2.ok());
+  EXPECT_EQ(occ2->blocks_per_sm, 8);
+}
+
+TEST(Occupancy, WavesCoverTheGrid) {
+  LaunchConfig cfg{.grid = {10000, 1, 1}, .block = {1024, 1, 1}};
+  auto occ = ComputeOccupancy(A100(), cfg);
+  ASSERT_TRUE(occ.ok());
+  EXPECT_EQ(occ->resident_blocks, 2u * 108u);
+  EXPECT_EQ(occ->waves, (10000 + 215) / 216);
+}
+
+TEST(Occupancy, RejectsImpossibleConfigs) {
+  EXPECT_FALSE(ComputeOccupancy(A100(), {.grid = {0, 1, 1}}).ok());
+  EXPECT_FALSE(ComputeOccupancy(A100(), {.block = {2048, 1, 1}}).ok());
+  LaunchConfig big_smem{.shared_bytes = 10u << 20};
+  EXPECT_FALSE(ComputeOccupancy(A100(), big_smem).ok());
+}
+
+TEST(Occupancy, PredictsSimulatedWaves) {
+  // The calculator's wave count must match actual simulated behaviour:
+  // grid = 2 waves of blocks → roughly double the single-wave makespan.
+  DeviceSpec spec = DeviceSpec::TestDevice();  // 2 SMs × 4 blocks = 8
+  Device dev(spec);
+  auto kernel = [](ThreadCtx& ctx) -> DeviceTask<void> {
+    for (int i = 0; i < 20; ++i) co_await ctx.Work(100);
+    (void)ctx;
+  };
+  LaunchConfig one_wave{.grid = {8, 1, 1}, .block = {32, 1, 1}};
+  LaunchConfig two_waves{.grid = {16, 1, 1}, .block = {32, 1, 1}};
+  auto occ1 = ComputeOccupancy(spec, one_wave);
+  auto occ2 = ComputeOccupancy(spec, two_waves);
+  ASSERT_TRUE(occ1.ok());
+  ASSERT_TRUE(occ2.ok());
+  EXPECT_EQ(occ1->waves, 1u);
+  EXPECT_EQ(occ2->waves, 2u);
+  const auto t1 = dev.Launch(one_wave, kernel)->stats.elapsed_cycles;
+  const auto t2 = dev.Launch(two_waves, kernel)->stats.elapsed_cycles;
+  EXPECT_GE(t2, t1 * 3 / 2);
+  EXPECT_LE(t2, t1 * 3);
+}
+
+TEST(Occupancy, MultiDimBlocksCountLinearThreads) {
+  LaunchConfig cfg{.grid = {8, 1, 1}, .block = {32, 4, 1}};  // §3.1 shape
+  auto occ = ComputeOccupancy(A100(), cfg);
+  ASSERT_TRUE(occ.ok());
+  EXPECT_EQ(occ->warps_per_block, 4);
+}
+
+}  // namespace
+}  // namespace dgc::sim

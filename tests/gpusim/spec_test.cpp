@@ -1,0 +1,81 @@
+#include "gpusim/device_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace dgc::sim {
+namespace {
+
+TEST(DeviceSpec, PresetsAreValid) {
+  EXPECT_EQ(DeviceSpec::A100_40GB().Validate(), "");
+  EXPECT_EQ(DeviceSpec::A100_40GB(512).Validate(), "");
+  EXPECT_EQ(DeviceSpec::V100_16GB().Validate(), "");
+  EXPECT_EQ(DeviceSpec::TestDevice().Validate(), "");
+}
+
+TEST(DeviceSpec, A100Shape) {
+  const DeviceSpec s = DeviceSpec::A100_40GB(64);
+  EXPECT_EQ(s.num_sms, 108);
+  EXPECT_EQ(s.max_threads_per_block, 1024);
+  EXPECT_EQ(s.global_memory_bytes, 40 * kGiB / 64);
+  EXPECT_NEAR(s.clock_ghz, 1.41, 1e-9);
+}
+
+TEST(DeviceSpec, MemoryScaleShrinksCachesProportionally) {
+  const DeviceSpec full = DeviceSpec::A100_40GB(1);
+  const DeviceSpec scaled = DeviceSpec::A100_40GB(512);
+  EXPECT_EQ(full.l2_bytes, 40 * kMiB);
+  EXPECT_EQ(full.l1_bytes, 128 * kKiB);
+  // Scaled: 40MiB/512 = 80KiB (above floor); L1 hits its 4KiB floor.
+  EXPECT_EQ(scaled.l2_bytes, 40 * kMiB / 512);
+  EXPECT_EQ(scaled.l1_bytes, 4 * kKiB);
+  // Timing constants are NOT scaled.
+  EXPECT_EQ(scaled.dram_latency, full.dram_latency);
+  EXPECT_DOUBLE_EQ(scaled.dram_bytes_per_cycle, full.dram_bytes_per_cycle);
+}
+
+TEST(DeviceSpec, ValidateCatchesBadConfigs) {
+  DeviceSpec s = DeviceSpec::TestDevice();
+  s.num_sms = 0;
+  EXPECT_NE(s.Validate().find("num_sms"), std::string::npos);
+
+  s = DeviceSpec::TestDevice();
+  s.warp_size = 33;  // not a power of two
+  EXPECT_NE(s.Validate().find("warp_size"), std::string::npos);
+
+  s = DeviceSpec::TestDevice();
+  s.sector_bytes = 48;
+  EXPECT_FALSE(s.Validate().empty());
+
+  s = DeviceSpec::TestDevice();
+  s.dram_bytes_per_cycle = 0;
+  EXPECT_NE(s.Validate().find("bandwidth"), std::string::npos);
+
+  s = DeviceSpec::TestDevice();
+  s.dram_banks_per_channel = 0;
+  EXPECT_FALSE(s.Validate().empty());
+}
+
+TEST(DeviceSpec, WarpsPerBlock) {
+  const DeviceSpec s = DeviceSpec::TestDevice();
+  EXPECT_EQ(s.WarpsPerBlock(1), 1);
+  EXPECT_EQ(s.WarpsPerBlock(32), 1);
+  EXPECT_EQ(s.WarpsPerBlock(33), 2);
+  EXPECT_EQ(s.WarpsPerBlock(1024), 32);
+}
+
+TEST(DeviceSpec, CyclesToSeconds) {
+  DeviceSpec s;
+  s.clock_ghz = 2.0;
+  EXPECT_DOUBLE_EQ(s.CyclesToSeconds(2'000'000'000ull), 1.0);
+}
+
+TEST(DeviceSpec, V100IsSmallerThanA100) {
+  const DeviceSpec a = DeviceSpec::A100_40GB(64);
+  const DeviceSpec v = DeviceSpec::V100_16GB(64);
+  EXPECT_LT(v.num_sms, a.num_sms);
+  EXPECT_LT(v.dram_bytes_per_cycle, a.dram_bytes_per_cycle);
+  EXPECT_LT(v.global_memory_bytes, a.global_memory_bytes);
+}
+
+}  // namespace
+}  // namespace dgc::sim

@@ -1,0 +1,98 @@
+#include "support/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+namespace dgc {
+namespace {
+
+TEST(Arena, BasicAllocation) {
+  Arena arena(128);
+  void* a = arena.Allocate(16);
+  void* b = arena.Allocate(16);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(arena.bytes_allocated(), 32u);
+}
+
+TEST(Arena, AlignmentRespected) {
+  Arena arena(256);
+  arena.Allocate(1, 1);
+  for (std::size_t align : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    void* p = arena.Allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u) << align;
+  }
+}
+
+TEST(Arena, LargeAllocationSpansBlocks) {
+  Arena arena(64);
+  void* p = arena.Allocate(1000);
+  EXPECT_NE(p, nullptr);
+  std::memset(p, 0xab, 1000);  // must be writable
+}
+
+TEST(Arena, AllocationsDoNotOverlap) {
+  Arena arena(128);
+  std::vector<std::pair<std::byte*, std::size_t>> allocs;
+  for (std::size_t i = 1; i <= 100; ++i) {
+    auto* p = static_cast<std::byte*>(arena.Allocate(i));
+    allocs.emplace_back(p, i);
+    std::memset(p, int(i & 0xff), i);
+  }
+  // Verify every allocation still holds its fill pattern (overlap would
+  // have clobbered earlier ones).
+  for (auto& [p, n] : allocs) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(p[j], std::byte(n & 0xff));
+    }
+  }
+}
+
+TEST(Arena, ResetReusesMemory) {
+  Arena arena(1024);
+  arena.Allocate(512);
+  const std::size_t reserved = arena.bytes_reserved();
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  arena.Allocate(512);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);  // no new block needed
+}
+
+TEST(Arena, StrDupNulTerminates) {
+  Arena arena;
+  char* s = arena.StrDup("hello");
+  EXPECT_STREQ(s, "hello");
+  char* empty = arena.StrDup("");
+  EXPECT_STREQ(empty, "");
+}
+
+TEST(Arena, StrDupStableAcrossMoreAllocations) {
+  Arena arena(64);
+  char* s = arena.StrDup("-a 1 -b -c data-1.bin");
+  for (int i = 0; i < 100; ++i) arena.StrDup("filler string to force new blocks");
+  EXPECT_STREQ(s, "-a 1 -b -c data-1.bin");
+}
+
+TEST(Arena, NewConstructsInPlace) {
+  Arena arena;
+  struct Pod {
+    int a;
+    double b;
+  };
+  Pod* p = arena.New<Pod>(3, 2.5);
+  EXPECT_EQ(p->a, 3);
+  EXPECT_DOUBLE_EQ(p->b, 2.5);
+}
+
+TEST(Arena, ZeroByteAllocationIsValid) {
+  Arena arena;
+  void* a = arena.Allocate(0);
+  void* b = arena.Allocate(0);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace dgc

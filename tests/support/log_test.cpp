@@ -1,0 +1,44 @@
+#include "support/log.h"
+
+#include <gtest/gtest.h>
+
+namespace dgc {
+namespace {
+
+TEST(Log, ParseLevels) {
+  LogLevel l;
+  EXPECT_TRUE(ParseLogLevel("debug", l));
+  EXPECT_EQ(l, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", l));
+  EXPECT_EQ(l, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warn", l));
+  EXPECT_EQ(l, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", l));
+  EXPECT_EQ(l, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("off", l));
+  EXPECT_EQ(l, LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("loud", l));
+}
+
+TEST(Log, SetGetRoundTrip) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(prev);
+}
+
+TEST(Log, FilteredMessageDoesNotEvaluateStream) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  DGC_LOG(kDebug) << "never " << count();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(prev);
+}
+
+}  // namespace
+}  // namespace dgc

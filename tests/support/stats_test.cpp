@@ -1,0 +1,90 @@
+#include "support/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace dgc {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownValues) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, MatchesBatchComputation) {
+  Rng rng(5);
+  RunningStat s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble(-10, 10);
+    xs.push_back(x);
+    s.Add(x);
+  }
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= double(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= double(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(Histogram, BucketsAndSaturation) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);   // bucket 0
+  h.Add(9.5);   // bucket 9
+  h.Add(-5.0);  // saturates to bucket 0
+  h.Add(42.0);  // saturates to bucket 9
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, QuantileUniform) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(77);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.NextDouble());
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.Quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.Quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, QuantileEmpty) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+}
+
+TEST(Histogram, ToStringHasOneLinePerBucket) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(1.0);
+  const std::string s = h.ToString();
+  int lines = 0;
+  for (char c : s) lines += (c == '\n');
+  EXPECT_EQ(lines, 4);
+}
+
+}  // namespace
+}  // namespace dgc

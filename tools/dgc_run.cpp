@@ -1,0 +1,152 @@
+// dgc-run — the command-line front end of the framework, mirroring the
+// paper's Fig. 5c invocation:
+//
+//   dgc-run xsbench -f arguments.txt -n 4 -t 128
+//
+// plus quality-of-life flags: device selection, single-instance mode, the
+// argument-script language, stats reporting, and app discovery.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/common.h"
+#include "dgcf/libc.h"
+#include "dgcf/loader.h"
+#include "dgcf/rpc.h"
+#include "ensemble/loader.h"
+#include "gpusim/device.h"
+#include "gpusim/trace.h"
+#include "support/argparse.h"
+#include "support/str.h"
+#include "support/units.h"
+
+using namespace dgc;
+
+namespace {
+
+int ListApps() {
+  std::printf("device-compiled applications:\n");
+  for (const std::string& name : dgcf::AppRegistry::Instance().Names()) {
+    auto info = dgcf::AppRegistry::Instance().Find(name);
+    std::printf("  %-12s %s\n", name.c_str(), (*info)->description.c_str());
+  }
+  return 0;
+}
+
+StatusOr<sim::DeviceSpec> PickDevice(const std::string& name,
+                                     std::int64_t memory_scale) {
+  const std::uint32_t scale = std::uint32_t(memory_scale);
+  if (name == "a100") return sim::DeviceSpec::A100_40GB(scale);
+  if (name == "v100") return sim::DeviceSpec::V100_16GB(scale);
+  if (name == "test") return sim::DeviceSpec::TestDevice();
+  return Status(ErrorCode::kInvalidArgument,
+                "unknown device '" + name + "' (a100, v100, test)");
+}
+
+void PrintOutcome(const dgcf::RunResult& run, const sim::DeviceSpec& spec,
+                  const dgcf::RpcHost& rpc, bool stats) {
+  if (!rpc.stdout_text().empty()) {
+    std::printf("%s", rpc.stdout_text().c_str());
+  }
+  for (std::size_t i = 0; i < run.instances.size(); ++i) {
+    const dgcf::InstanceResult& inst = run.instances[i];
+    if (!inst.completed) {
+      std::printf("instance %zu: CRASHED\n", i);
+    } else if (inst.exit_code != 0) {
+      std::printf("instance %zu: exit %d\n", i, inst.exit_code);
+    }
+  }
+  std::printf("%zu instance(s), kernel %s cycles (%s), transfers %s cycles\n",
+              run.instances.size(), FormatCount(run.kernel_cycles).c_str(),
+              FormatSeconds(spec.CyclesToSeconds(run.kernel_cycles)).c_str(),
+              FormatCount(run.transfer_cycles).c_str());
+  if (stats) std::printf("\n%s", run.stats.ToString().c_str());
+  for (const std::string& f : run.failures) {
+    std::fprintf(stderr, "device failure: %s\n", f.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  apps::RegisterAllApps();
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+    std::printf(
+        "usage: dgc-run <app> [options]          run an ensemble (Fig. 5c)\n"
+        "       dgc-run --list                   list registered apps\n\n"
+        "options forwarded to the ensemble loader:\n"
+        "  -f <file>      command line arguments file (required)\n"
+        "  -n <count>     instances to launch simultaneously\n"
+        "  -t <threads>   thread limit per instance (default 1024)\n"
+        "  -m <count>     instances per thread block (default 1)\n"
+        "  --teams <n>    teams (default: one per instance)\n"
+        "  --script       treat -f file as an argument script\n"
+        "  --seed <n>     argument-script random seed\n\n"
+        "tool options (must precede the loader options):\n"
+        "  --device <d>   a100 (default), v100, or test\n"
+        "  --memory-scale <n>  capacity scale divisor (default 512)\n"
+        "  --stats        print simulator statistics\n"
+        "  --trace <path> write a chrome://tracing JSON of the kernel\n");
+    return args.empty() ? 2 : 0;
+  }
+  if (args[0] == "--list") return ListApps();
+
+  const std::string app = args[0];
+  args.erase(args.begin());
+
+  // Split off tool options (anything before the first loader flag we know).
+  std::string device_name = "a100";
+  std::string trace_path;
+  std::int64_t memory_scale = 512;
+  bool stats = false;
+  std::vector<std::string> loader_args;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--device" && i + 1 < args.size()) {
+      device_name = args[++i];
+    } else if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (args[i] == "--memory-scale" && i + 1 < args.size()) {
+      auto v = ParseInt(args[++i]);
+      if (!v.ok() || *v <= 0) {
+        std::fprintf(stderr, "bad --memory-scale\n");
+        return 2;
+      }
+      memory_scale = *v;
+    } else if (args[i] == "--stats") {
+      stats = true;
+    } else {
+      loader_args.push_back(args[i]);
+    }
+  }
+
+  auto spec = PickDevice(device_name, memory_scale);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 2;
+  }
+  sim::Device device(*spec);
+  dgcf::RpcHost rpc(device);
+  dgcf::DeviceLibc libc(device);
+  dgcf::AppEnv env{&device, &rpc, &libc};
+
+  sim::Trace trace;
+  auto run = ensemble::RunEnsembleCli(env, app, loader_args,
+                                      trace_path.empty() ? nullptr : &trace);
+  if (!run.ok()) {
+    std::fprintf(stderr, "dgc-run: %s\n", run.status().ToString().c_str());
+    return 2;
+  }
+  PrintOutcome(*run, device.spec(), rpc, stats);
+  if (!trace_path.empty()) {
+    const Status s = trace.WriteChromeJson(trace_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    std::printf("trace written: %s (%zu events)\n", trace_path.c_str(),
+                trace.events().size());
+  }
+  return run->all_ok() ? 0 : 1;
+}
