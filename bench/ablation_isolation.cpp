@@ -6,6 +6,7 @@
 
 #include "ensemble/isolation.h"
 #include "gpusim/device.h"
+#include "gpusim/memcheck.h"
 #include "ompx/league.h"
 
 using namespace dgc;
@@ -13,30 +14,43 @@ using namespace dgc::sim;
 
 namespace {
 
+struct CounterRun {
+  std::vector<std::uint64_t> finals;
+  std::uint64_t races = 0;  ///< memcheck cross-instance findings
+};
+
 /// Runs 16 "instances"; each increments the global counter 100 times and
 /// reports its final value. Correct (isolated) behaviour: every instance
-/// reads exactly 100.
-std::vector<std::uint64_t> RunCounterEnsemble(ensemble::GlobalsMode mode) {
+/// reads exactly 100 — and the race detector stays silent.
+CounterRun RunCounterEnsemble(ensemble::GlobalsMode mode) {
   Device device(DeviceSpec::A100_40GB(512));
   const std::uint32_t kTeams = 16, kIncrements = 100;
 
+  Memcheck memcheck;
+  memcheck.Attach(device.memory());
   ensemble::IsolatedGlobals globals;
   DGC_CHECK(globals.Declare("g_counter", sizeof(std::uint64_t)).ok());
-  DGC_CHECK(globals.Materialize(device, kTeams, mode).ok());
+  DGC_CHECK(globals.Materialize(device, kTeams, mode, &memcheck).ok());
+  for (std::uint32_t t = 0; t < kTeams; ++t) {
+    memcheck.SetTeamInstance(t, std::int32_t(t));
+  }
 
-  std::vector<std::uint64_t> finals(kTeams, 0);
+  CounterRun run;
+  run.finals.assign(kTeams, 0);
   ompx::TeamsConfig cfg{.num_teams = kTeams, .thread_limit = 32};
+  cfg.memcheck = &memcheck;
   auto result = ompx::LaunchTeams(
       device, cfg, [&](ompx::TeamCtx& team) -> DeviceTask<void> {
         auto slot = *globals.Slot<std::uint64_t>(team.team_id, "g_counter");
         for (std::uint32_t i = 0; i < kIncrements; ++i) {
           co_await team.hw->AtomicAdd(slot, std::uint64_t{1});
         }
-        finals[team.team_id] = co_await team.hw->Load(slot);
+        run.finals[team.team_id] = co_await team.hw->Load(slot);
       });
   DGC_CHECK(result.ok());
   globals.Release(device);
-  return finals;
+  run.races = memcheck.report().cross_instance_count;
+  return run;
 }
 
 }  // namespace
@@ -49,18 +63,24 @@ int main() {
   auto isolated = RunCounterEnsemble(ensemble::GlobalsMode::kIsolated);
 
   int shared_correct = 0, isolated_correct = 0;
-  for (std::size_t i = 0; i < shared.size(); ++i) {
-    shared_correct += (shared[i] == 100);
-    isolated_correct += (isolated[i] == 100);
+  for (std::size_t i = 0; i < shared.finals.size(); ++i) {
+    shared_correct += (shared.finals[i] == 100);
+    isolated_correct += (isolated.finals[i] == 100);
   }
-  std::printf("%-28s correct instances: %2d / 16   (sample finals: %llu, %llu, %llu)\n",
+  std::printf("%-28s correct instances: %2d / 16   races flagged: %5llu   "
+              "(sample finals: %llu, %llu, %llu)\n",
               "shared global (legacy)", shared_correct,
-              (unsigned long long)shared[0], (unsigned long long)shared[7],
-              (unsigned long long)shared[15]);
-  std::printf("%-28s correct instances: %2d / 16   (sample finals: %llu, %llu, %llu)\n",
+              (unsigned long long)shared.races,
+              (unsigned long long)shared.finals[0],
+              (unsigned long long)shared.finals[7],
+              (unsigned long long)shared.finals[15]);
+  std::printf("%-28s correct instances: %2d / 16   races flagged: %5llu   "
+              "(sample finals: %llu, %llu, %llu)\n",
               "per-team replicas (§3.3)", isolated_correct,
-              (unsigned long long)isolated[0], (unsigned long long)isolated[7],
-              (unsigned long long)isolated[15]);
+              (unsigned long long)isolated.races,
+              (unsigned long long)isolated.finals[0],
+              (unsigned long long)isolated.finals[7],
+              (unsigned long long)isolated.finals[15]);
 
   if (isolated_correct != 16) {
     std::fprintf(stderr, "CHECK FAILED: isolation must restore correctness\n");
@@ -68,6 +88,17 @@ int main() {
   }
   if (shared_correct == 16) {
     std::fprintf(stderr, "CHECK FAILED: the shared layout should interfere\n");
+    return 1;
+  }
+  if (shared.races == 0) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: memcheck must flag the shared-global races\n");
+    return 1;
+  }
+  if (isolated.races != 0) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: isolated replicas must not race (%llu)\n",
+                 (unsigned long long)isolated.races);
     return 1;
   }
   std::printf("\nrelocating globals to team-local replicas restores "

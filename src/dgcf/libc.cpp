@@ -20,9 +20,16 @@ sim::DeviceTask<sim::DeviceBuffer> DeviceLibc::Malloc(sim::ThreadCtx& ctx,
 
 sim::DeviceTask<void> DeviceLibc::Free(sim::ThreadCtx& ctx,
                                        sim::DeviceAddr addr) {
-  co_await ctx.Work(kHeapOpCycles);
+  // free(NULL) is a no-op and must not pay the heap-lock cost.
   if (addr == 0) co_return;
-  if (device_.Free(addr).ok()) --live_;
+  co_await ctx.Work(kHeapOpCycles);
+  const Status s = device_.Free(addr);
+  if (s.ok()) {
+    --live_;
+  } else {
+    ++failed_frees_;
+    DGC_LOG(kInfo) << "device free(" << addr << ") failed: " << s.ToString();
+  }
 }
 
 namespace {
@@ -36,10 +43,16 @@ sim::DeviceTask<void> DeviceLibc::Memset(sim::ThreadCtx& ctx,
                                          std::uint64_t bytes) {
   std::uint64_t word = 0;
   for (int b = 0; b < 8; ++b) word = (word << 8) | value;
-  std::uint64_t i = 0;
+  // Head: byte stores until dst is naturally aligned for 8-byte words — a
+  // misaligned base must not be widened into misaligned word stores.
+  const std::uint64_t head = std::min(bytes, (8 - dst.addr % 8) % 8);
+  for (std::uint64_t t = 0; t < head; ++t) {
+    co_await ctx.Store(dst + std::ptrdiff_t(t), value);
+  }
   // Bulk: 8-byte stores in pipelined batches.
-  auto dst64 = dst.Cast<std::uint64_t>();
-  const std::uint64_t words = bytes / 8;
+  auto dst64 = (dst + std::ptrdiff_t(head)).Cast<std::uint64_t>();
+  const std::uint64_t words = (bytes - head) / 8;
+  std::uint64_t i = 0;
   while (i < words) {
     auto s = ctx.Scatter<std::uint64_t>();
     const std::uint64_t chunk = std::min(words - i, kWordsPerBatch);
@@ -50,7 +63,7 @@ sim::DeviceTask<void> DeviceLibc::Memset(sim::ThreadCtx& ctx,
     i += chunk;
   }
   // Tail bytes.
-  for (std::uint64_t t = words * 8; t < bytes; ++t) {
+  for (std::uint64_t t = head + words * 8; t < bytes; ++t) {
     co_await ctx.Store(dst + std::ptrdiff_t(t), value);
   }
 }
@@ -59,9 +72,18 @@ sim::DeviceTask<void> DeviceLibc::Memcpy(sim::ThreadCtx& ctx,
                                          sim::DevicePtr<std::uint8_t> dst,
                                          sim::DevicePtr<std::uint8_t> src,
                                          std::uint64_t bytes) {
-  auto dst64 = dst.Cast<std::uint64_t>();
-  auto src64 = src.Cast<std::uint64_t>();
-  const std::uint64_t words = bytes / 8;
+  // Head: byte copies until dst is word-aligned. If src does not share
+  // dst's alignment the word path would issue misaligned loads, so the
+  // whole copy degrades to byte traffic (what compiled code does too).
+  std::uint64_t head = std::min(bytes, (8 - dst.addr % 8) % 8);
+  if ((src.addr + head) % 8 != 0) head = bytes;
+  for (std::uint64_t t = 0; t < head; ++t) {
+    const std::uint8_t v = co_await ctx.Load(src + std::ptrdiff_t(t));
+    co_await ctx.Store(dst + std::ptrdiff_t(t), v);
+  }
+  auto dst64 = (dst + std::ptrdiff_t(head)).Cast<std::uint64_t>();
+  auto src64 = (src + std::ptrdiff_t(head)).Cast<std::uint64_t>();
+  const std::uint64_t words = (bytes - head) / 8;
   std::uint64_t i = 0;
   while (i < words) {
     const std::uint64_t chunk = std::min(words - i, kWordsPerBatch);
@@ -74,7 +96,7 @@ sim::DeviceTask<void> DeviceLibc::Memcpy(sim::ThreadCtx& ctx,
     co_await s;
     i += chunk;
   }
-  for (std::uint64_t t = words * 8; t < bytes; ++t) {
+  for (std::uint64_t t = head + words * 8; t < bytes; ++t) {
     const std::uint8_t v = co_await ctx.Load(src + std::ptrdiff_t(t));
     co_await ctx.Store(dst + std::ptrdiff_t(t), v);
   }

@@ -33,11 +33,14 @@ class DeviceLibc {
   sim::DeviceTask<sim::DeviceBuffer> Malloc(sim::ThreadCtx& ctx,
                                             std::uint64_t bytes);
 
-  /// Device-side free. Freeing a null/unknown address is a no-op, like C.
+  /// Device-side free. free(NULL) is a free no-op, like C; freeing an
+  /// unknown address is ignored functionally but counted (and is a
+  /// memcheck invalid-free finding when a sanitizer is attached).
   sim::DeviceTask<void> Free(sim::ThreadCtx& ctx, sim::DeviceAddr addr);
 
   std::uint64_t live_allocations() const { return live_; }
   std::uint64_t failed_allocations() const { return failed_; }
+  std::uint64_t failed_frees() const { return failed_frees_; }
 
   /// Timed memset over device memory: issued as pipelined store batches
   /// (the memory traffic a device-side memset loop generates).
@@ -64,6 +67,7 @@ class DeviceLibc {
   sim::Device& device_;
   std::uint64_t live_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t failed_frees_ = 0;
 };
 
 }  // namespace dgc::dgcf

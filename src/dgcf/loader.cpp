@@ -11,6 +11,10 @@ StatusOr<RunResult> RunSingleInstance(AppEnv& env,
   DGC_CHECK(env.device != nullptr);
   DGC_ASSIGN_OR_RETURN(const AppInfo* app,
                        AppRegistry::Instance().Find(options.app));
+  if (options.memcheck != nullptr) {
+    options.memcheck->Attach(env.device->memory());
+    options.memcheck->SetTeamInstance(0, 0);
+  }
 
   std::vector<std::string> argv_row;
   argv_row.reserve(options.args.size() + 1);
@@ -26,6 +30,7 @@ StatusOr<RunResult> RunSingleInstance(AppEnv& env,
   cfg.num_teams = 1;  // single-team execution preserves host semantics
   cfg.thread_limit = options.thread_limit;
   cfg.name = "single-instance";
+  cfg.memcheck = options.memcheck;
 
   InstanceResult& inst = run.instances[0];
   auto result = ompx::LaunchTeams(
@@ -40,6 +45,7 @@ StatusOr<RunResult> RunSingleInstance(AppEnv& env,
   run.kernel_cycles = result->cycles;
   run.stats = result->stats;
   run.failures = std::move(result->failures);
+  run.memcheck = std::move(result->memcheck);
   // Mapping back the Ret value (map(from:Ret[:1])).
   run.transfer_cycles += sim::TransferCycles(env.device->spec(), sizeof(int));
   return run;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dgcf/app.h"
+#include "gpusim/memcheck.h"
 #include "gpusim/stats.h"
 #include "support/status.h"
 
@@ -32,6 +33,9 @@ struct RunResult {
   std::uint64_t transfer_cycles = 0;  ///< argv mapping + result map(from:)
   sim::LaunchStats stats;
   std::vector<std::string> failures;
+  /// Sanitizer findings when the run was launched with a memcheck attached
+  /// (clean/empty otherwise).
+  sim::MemcheckReport memcheck;
 
   std::uint64_t total_cycles() const { return kernel_cycles + transfer_cycles; }
   bool all_ok() const {
@@ -46,6 +50,9 @@ struct SingleRunOptions {
   std::string app;                 ///< registered application name
   std::vector<std::string> args;   ///< argv[1..]; argv[0] is the app name
   std::uint32_t thread_limit = 1024;
+  /// Optional shadow-memory sanitizer; attached to the device memory (and
+  /// seeded with pre-existing allocations) before the run builds state.
+  sim::Memcheck* memcheck = nullptr;
 };
 
 /// Runs one instance on one team, as the original framework does.

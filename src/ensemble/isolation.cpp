@@ -36,7 +36,8 @@ Status IsolatedGlobals::Declare(std::string name, std::uint64_t bytes,
 
 Status IsolatedGlobals::Materialize(sim::Device& device,
                                     std::uint32_t instances,
-                                    GlobalsMode mode) {
+                                    GlobalsMode mode,
+                                    sim::Memcheck* memcheck) {
   if (materialized_) {
     return Status(ErrorCode::kFailedPrecondition, "already materialized");
   }
@@ -63,6 +64,14 @@ Status IsolatedGlobals::Materialize(sim::Device& device,
       if (!decl.init.empty()) {
         std::memcpy(seg->host + offsets_.at(name), decl.init.data(),
                     decl.bytes);
+      }
+    }
+    if (memcheck != nullptr) {
+      if (mode == GlobalsMode::kIsolated) {
+        memcheck->TagRegion(seg->addr, std::int32_t(r),
+                            StrFormat("global segment (instance %u)", r));
+      } else {
+        memcheck->TagRegion(seg->addr, sim::kSharedOwner, "globals (shared)");
       }
     }
     segments_.push_back(*seg);

@@ -36,8 +36,14 @@ class IsolatedGlobals {
   /// kIsolated mode, a single shared segment in kShared mode. Each replica
   /// is a *separate device allocation*, mirroring how per-instance heaps
   /// are laid out (non-contiguous, as §4.3 observes).
+  ///
+  /// With a memcheck attached, each replica is tagged for the §3.3
+  /// cross-instance checker: isolated replicas are owned by their instance
+  /// (writes from any other instance are findings), the shared segment is
+  /// tagged kSharedOwner (a race is reported once two distinct instances
+  /// write it).
   Status Materialize(sim::Device& device, std::uint32_t instances,
-                     GlobalsMode mode);
+                     GlobalsMode mode, sim::Memcheck* memcheck = nullptr);
 
   /// Device pointer to `name`'s replica for `instance`.
   template <typename T>

@@ -21,6 +21,17 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
   if (options.instance_args.empty()) {
     return Status(ErrorCode::kInvalidArgument, "no instance argument lines");
   }
+  // Validate library-caller options up front (the CLI front end performs the
+  // same checks on its raw flags); a zero would otherwise reach the launch
+  // path and fail with a message that names no EnsembleOptions field.
+  if (options.thread_limit == 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "EnsembleOptions::thread_limit must be positive");
+  }
+  if (options.teams_per_block == 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "EnsembleOptions::teams_per_block must be positive");
+  }
 
   const std::uint32_t available = std::uint32_t(options.instance_args.size());
   const std::uint32_t ni =
@@ -36,6 +47,12 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
   if (teams > ni) {
     return Status(ErrorCode::kInvalidArgument,
                   "more teams than instances is wasteful; reduce --teams");
+  }
+
+  // Attach the sanitizer before any device state is built so the argument
+  // block and app buffers enter the shadow map with exact bounds.
+  if (options.memcheck != nullptr) {
+    options.memcheck->Attach(env.device->memory());
   }
 
   // Build the device-side argument block (Fig. 4's StringCache/Argc/Argv),
@@ -63,6 +80,7 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
   cfg.teams_per_block = options.teams_per_block;
   cfg.name = "ensemble";
   cfg.trace = options.trace;
+  cfg.memcheck = options.memcheck;
 
   // The Fig. 4 kernel:  #pragma omp target teams distribute
   //                     for (I = 0; I < NI; ++I)
@@ -71,6 +89,11 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
   auto result = ompx::LaunchTeams(
       *env.device, cfg, [&](ompx::TeamCtx& team) -> sim::DeviceTask<void> {
         for (std::uint32_t i = team.team_id; i < ni; i += teams) {
+          if (options.memcheck != nullptr) {
+            // Feed the §3.3 cross-instance checker: from here until the next
+            // update, accesses by this team belong to instance i.
+            options.memcheck->SetTeamInstance(team.team_id, std::int32_t(i));
+          }
           run.instances[i].exit_code =
               co_await app->user_main(env, team, argv.argc(i), argv.argv(i));
           run.instances[i].completed = true;
@@ -81,6 +104,7 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
   run.kernel_cycles = result->cycles;
   run.stats = result->stats;
   run.failures = std::move(result->failures);
+  run.memcheck = std::move(result->memcheck);
   // map(from:Ret[:NI])
   run.transfer_cycles +=
       sim::TransferCycles(env.device->spec(), std::uint64_t(ni) * sizeof(int));
@@ -90,7 +114,8 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
 StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
                                          const std::string& app,
                                          const std::vector<std::string>& argv,
-                                         sim::Trace* trace) {
+                                         sim::Trace* trace,
+                                         sim::Memcheck* memcheck) {
   std::string file;
   std::int64_t instances = 0, threads = 1024, teams = 0, per_block = 1;
   std::int64_t seed = 0;
@@ -119,6 +144,7 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
   options.num_teams = std::uint32_t(teams);
   options.teams_per_block = std::uint32_t(per_block);
   options.trace = trace;
+  options.memcheck = memcheck;
   if (script) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {

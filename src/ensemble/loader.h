@@ -39,6 +39,11 @@ struct EnsembleOptions {
   std::uint32_t teams_per_block = 1;
   /// Optional instruction trace of the ensemble kernel (gpusim/trace.h).
   sim::Trace* trace = nullptr;
+  /// Optional shadow-memory sanitizer (gpusim/memcheck.h). The loader
+  /// attaches it to the device memory, maps each team to the instance it is
+  /// currently executing (feeding the §3.3 cross-instance checker), and
+  /// returns its findings in RunResult::memcheck.
+  sim::Memcheck* memcheck = nullptr;
 };
 
 /// Runs the ensemble. Instance I's exit code lands in result.instances[I].
@@ -52,6 +57,7 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
 StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
                                          const std::string& app,
                                          const std::vector<std::string>& argv,
-                                         sim::Trace* trace = nullptr);
+                                         sim::Trace* trace = nullptr,
+                                         sim::Memcheck* memcheck = nullptr);
 
 }  // namespace dgc::ensemble

@@ -62,14 +62,17 @@ StatusOr<LaunchResult> Device::Launch(const LaunchConfig& config,
   }
 
   memsys_.Reset();  // cold caches per launch; deterministic across launches
+  if (config.memcheck != nullptr) config.memcheck->OnLaunchBegin(config);
   LaunchContext lc(spec_, memsys_, config, kernel);
   DGC_RETURN_IF_ERROR(lc.Run());
+  if (config.memcheck != nullptr) config.memcheck->OnLaunchEnd(lc.stats);
 
   LaunchResult result;
   result.stats = lc.stats;
   result.cycles = lc.stats.elapsed_cycles + spec_.kernel_launch_overhead;
   result.failures = std::move(lc.failures);
   result.failure_count = lc.failure_count;
+  if (config.memcheck != nullptr) result.memcheck = config.memcheck->report();
 
   lifetime_stats_.Accumulate(lc.stats);
   ++launches_;

@@ -12,6 +12,7 @@
 
 #include "gpusim/device_spec.h"
 #include "gpusim/kernel.h"
+#include "gpusim/memcheck.h"
 #include "gpusim/memory.h"
 #include "gpusim/memsys.h"
 #include "gpusim/stats.h"
@@ -26,6 +27,9 @@ struct LaunchResult {
   /// Messages from lanes that terminated with an exception (up to 16).
   std::vector<std::string> failures;
   std::uint64_t failure_count = 0;
+  /// Snapshot of the sanitizer report after the launch's leak check;
+  /// empty/clean when the launch ran without a memcheck.
+  MemcheckReport memcheck;
 
   bool ok() const { return failure_count == 0; }
 };

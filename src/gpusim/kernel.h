@@ -9,6 +9,7 @@
 
 namespace dgc::sim {
 
+class Memcheck;
 class Trace;
 struct ThreadCtx;
 
@@ -24,6 +25,9 @@ struct LaunchConfig {
   const char* name = "kernel";
   /// Optional instruction trace sink (see gpusim/trace.h); null = off.
   Trace* trace = nullptr;
+  /// Optional shadow-memory sanitizer (see gpusim/memcheck.h); null = off.
+  /// Must already be Attach()ed to the device's memory.
+  Memcheck* memcheck = nullptr;
 };
 
 }  // namespace dgc::sim

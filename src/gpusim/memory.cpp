@@ -47,12 +47,14 @@ StatusOr<DeviceBuffer> DeviceMemory::Allocate(std::uint64_t bytes) {
   live_.emplace(addr, std::move(region));
   bytes_in_use_ += rounded;
   peak_bytes_ = std::max(peak_bytes_, bytes_in_use_);
+  if (listener_ != nullptr) listener_->OnAlloc(addr, bytes, rounded);
   return DeviceBuffer{addr, rounded, host};
 }
 
 Status DeviceMemory::Free(DeviceAddr addr) {
   auto it = live_.find(addr);
   if (it == live_.end()) {
+    if (listener_ != nullptr) listener_->OnFreeFailed(addr);
     return Status(ErrorCode::kInvalidArgument,
                   StrFormat("free of unknown device address 0x%llx",
                             (unsigned long long)addr));
@@ -60,6 +62,7 @@ Status DeviceMemory::Free(DeviceAddr addr) {
   std::uint64_t bytes = it->second.bytes;
   bytes_in_use_ -= bytes;
   live_.erase(it);
+  if (listener_ != nullptr) listener_->OnFree(addr, bytes);
 
   // Insert the hole and coalesce with neighbours.
   auto [hole, inserted] = free_.emplace(addr, bytes);
@@ -93,6 +96,14 @@ std::byte* DeviceMemory::HostPtr(DeviceAddr addr) const {
   --it;
   if (addr >= it->first + it->second.bytes) return nullptr;
   return it->second.storage.get() + (addr - it->first);
+}
+
+std::vector<std::pair<DeviceAddr, std::uint64_t>>
+DeviceMemory::LiveAllocations() const {
+  std::vector<std::pair<DeviceAddr, std::uint64_t>> out;
+  out.reserve(live_.size());
+  for (const auto& [addr, region] : live_) out.emplace_back(addr, region.bytes);
+  return out;
 }
 
 bool DeviceMemory::Contains(DeviceAddr addr, std::uint64_t bytes) const {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "gpusim/address.h"
@@ -29,6 +30,21 @@ struct DeviceBuffer {
     return DevicePtr<T>{addr + element_offset * sizeof(T),
                         reinterpret_cast<T*>(host) + element_offset};
   }
+};
+
+/// Observer of allocator events; the memcheck shadow map subscribes to
+/// mirror allocation bounds and liveness (gpusim/memcheck.h).
+class AllocationListener {
+ public:
+  virtual ~AllocationListener() = default;
+  /// A successful allocation: `requested` is the caller's size, `rounded`
+  /// the aligned extent actually reserved at `addr`.
+  virtual void OnAlloc(DeviceAddr addr, std::uint64_t requested,
+                       std::uint64_t rounded) = 0;
+  /// A successful free of the allocation based at `addr`.
+  virtual void OnFree(DeviceAddr addr, std::uint64_t rounded) = 0;
+  /// A rejected free (unknown or already-freed base address).
+  virtual void OnFreeFailed(DeviceAddr addr) = 0;
 };
 
 class DeviceMemory {
@@ -60,6 +76,13 @@ class DeviceMemory {
   /// High-water mark of bytes_in_use over the instance lifetime.
   std::uint64_t peak_bytes() const { return peak_bytes_; }
 
+  /// At most one listener; replaces any previous one (nullptr detaches).
+  void set_listener(AllocationListener* listener) { listener_ = listener; }
+
+  /// Snapshot of live allocations as (base address, rounded bytes) pairs,
+  /// in address order — used to seed a late-attached shadow map.
+  std::vector<std::pair<DeviceAddr, std::uint64_t>> LiveAllocations() const;
+
  private:
   struct Region {
     std::uint64_t bytes = 0;
@@ -73,6 +96,7 @@ class DeviceMemory {
   DeviceAddr frontier_ = kGlobalBase;  ///< first never-used address
   std::map<DeviceAddr, Region> live_;  ///< live allocations by base address
   std::map<DeviceAddr, std::uint64_t> free_;  ///< free holes by base address
+  AllocationListener* listener_ = nullptr;
 };
 
 }  // namespace dgc::sim

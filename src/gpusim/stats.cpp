@@ -28,6 +28,7 @@ void LaunchStats::Accumulate(const LaunchStats& o) {
   compute_cycles_issued += o.compute_cycles_issued;
   elapsed_cycles += o.elapsed_cycles;
   blocks_launched += o.blocks_launched;
+  memcheck_findings += o.memcheck_findings;
 }
 
 namespace {
@@ -68,6 +69,10 @@ std::string LaunchStats::ToString() const {
                    FormatCount(barrier_arrivals).c_str(),
                    FormatCount(divergent_replays).c_str(),
                    FormatCount(smem_bank_conflicts).c_str());
+  if (memcheck_findings != 0) {
+    out += StrFormat("memcheck findings: %s\n",
+                     FormatCount(memcheck_findings).c_str());
+  }
   return out;
 }
 

@@ -33,6 +33,8 @@ struct LaunchStats {
   // Outcome.
   std::uint64_t elapsed_cycles = 0;
   std::uint64_t blocks_launched = 0;
+  /// Sanitizer findings attributed to this launch (0 when memcheck is off).
+  std::uint64_t memcheck_findings = 0;
 
   void Accumulate(const LaunchStats& other);
 

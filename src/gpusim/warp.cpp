@@ -6,6 +6,7 @@
 #include "gpusim/coalesce.h"
 #include "gpusim/engine.h"
 #include "gpusim/launch_context.h"
+#include "gpusim/memcheck.h"
 #include "gpusim/trace.h"
 #include "support/str.h"
 
@@ -192,14 +193,19 @@ std::uint64_t Warp::ProcessPhase(std::uint64_t now, bool& processed_any) {
 std::uint64_t Warp::IssueMemoryGroup(std::span<Lane*> group, bool is_store,
                                      std::uint64_t t) {
   const bool shared_space = IsSharedAddr(group.front()->pending.addr);
+  Memcheck* const memcheck = lc_->config.memcheck;
 
-  // Functional effect at issue time, in lane order.
+  // Functional effect at issue time, in lane order. The sanitizer vetoes
+  // accesses without live backing storage (the timing charge still applies).
   for (Lane* lane : group) {
     DeviceOp& op = lane->pending;
+    const bool allowed =
+        memcheck == nullptr || shared_space ||
+        memcheck->CheckAccess(*lane, op.kind, op.addr, op.bytes, is_store);
     if (is_store) {
-      WriteBits(op.host, op.bytes, op.bits);
+      if (allowed) WriteBits(op.host, op.bytes, op.bits);
     } else {
-      lane->pending_result = ReadBits(op.host, op.bytes);
+      lane->pending_result = allowed ? ReadBits(op.host, op.bytes) : 0;
     }
   }
 
@@ -228,6 +234,7 @@ std::uint64_t Warp::IssueBatchGroup(std::span<Lane*> group, std::uint64_t t,
   // into one stream of sectors that pays bandwidth-serialized service but
   // only one latency trip — the scoreboarded-MLP behaviour of streaming
   // code.
+  Memcheck* const memcheck = lc_->config.memcheck;
   std::vector<LaneAccess> accesses;
   for (Lane* lane : group) {
     DeviceOp& op = lane->pending;
@@ -235,10 +242,14 @@ std::uint64_t Warp::IssueBatchGroup(std::span<Lane*> group, std::uint64_t t,
       BatchSlot& slot = op.batch[i];
       DGC_CHECK_MSG(!IsSharedAddr(slot.addr),
                     "Gather/Scatter target global memory only");
+      const bool allowed =
+          memcheck == nullptr ||
+          memcheck->CheckAccess(*lane, op.kind, slot.addr, slot.bytes,
+                                is_store);
       if (is_store) {
-        WriteBits(slot.host, slot.bytes, slot.result);
+        if (allowed) WriteBits(slot.host, slot.bytes, slot.result);
       } else {
-        slot.result = ReadBits(slot.host, slot.bytes);
+        slot.result = allowed ? ReadBits(slot.host, slot.bytes) : 0;
       }
       accesses.push_back({slot.addr, slot.bytes});
     }
@@ -251,10 +262,15 @@ std::uint64_t Warp::IssueBatchGroup(std::span<Lane*> group, std::uint64_t t,
 }
 
 std::uint64_t Warp::IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t) {
+  Memcheck* const memcheck = lc_->config.memcheck;
   // Functional read-modify-write in lane order (deterministic).
   for (Lane* lane : group) {
     DeviceOp& op = lane->pending;
-    lane->pending_result = op.apply(op.host, op.bits);
+    const bool allowed =
+        memcheck == nullptr || IsSharedAddr(op.addr) ||
+        memcheck->CheckAccess(*lane, op.kind, op.addr, op.bytes,
+                              /*is_write=*/true);
+    lane->pending_result = allowed ? op.apply(op.host, op.bits) : 0;
   }
   const bool shared_space = IsSharedAddr(group.front()->pending.addr);
   std::uint64_t t_end;

@@ -36,6 +36,7 @@ StatusOr<sim::LaunchResult> LaunchTeams(sim::Device& device,
   launch.shared_bytes = m * kTeamSharedReserve + cfg.user_shared_bytes;
   launch.name = cfg.name;
   launch.trace = cfg.trace;
+  launch.memcheck = cfg.memcheck;
 
   const std::uint32_t num_teams = cfg.num_teams;
   const std::uint32_t team_size = cfg.thread_limit;

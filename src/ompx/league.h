@@ -26,6 +26,9 @@ struct TeamsConfig {
   const char* name = "target-teams";
   /// Optional instruction trace sink (gpusim/trace.h).
   sim::Trace* trace = nullptr;
+  /// Optional shadow-memory sanitizer (gpusim/memcheck.h), forwarded to the
+  /// kernel launch; must already be attached to the device's memory.
+  sim::Memcheck* memcheck = nullptr;
 };
 
 /// The per-team entry point, run by the team's initial thread only (the

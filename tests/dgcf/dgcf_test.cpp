@@ -233,6 +233,22 @@ TEST(SingleLoader, RunsAppEndToEnd) {
   EXPECT_TRUE(run->all_ok());
 }
 
+TEST(SingleLoader, MemcheckCleanOnCorrectApp) {
+  Env env;
+  sim::Memcheck memcheck;
+  memcheck.Attach(env.device.memory());
+  SingleRunOptions opt;
+  opt.app = "testapp";
+  opt.args = {"-n", "500", "-x", "2.0"};
+  opt.thread_limit = 64;
+  opt.memcheck = &memcheck;
+  auto run = RunSingleInstance(env.app_env, opt);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->all_ok());
+  EXPECT_TRUE(run->memcheck.clean()) << run->memcheck.ToString();
+  EXPECT_EQ(run->stats.memcheck_findings, 0u);
+}
+
 TEST(SingleLoader, UsageErrorSurfacesAsExitCode) {
   Env env;
   SingleRunOptions opt;

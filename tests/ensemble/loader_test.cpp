@@ -198,6 +198,30 @@ TEST(EnsembleLoader, EmptyArgsRejected) {
             ErrorCode::kInvalidArgument);
 }
 
+TEST(EnsembleLoader, ZeroThreadLimitRejectedByName) {
+  // Library callers bypass the CLI's flag checks; the loader must still
+  // reject a zeroed field with a message that names it.
+  Env env;
+  auto opt = ProbeOptions(2);
+  opt.thread_limit = 0;
+  auto run = RunEnsemble(env.app_env, opt);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(run.status().message().find("thread_limit"), std::string::npos)
+      << run.status().ToString();
+}
+
+TEST(EnsembleLoader, ZeroTeamsPerBlockRejectedByName) {
+  Env env;
+  auto opt = ProbeOptions(2);
+  opt.teams_per_block = 0;
+  auto run = RunEnsemble(env.app_env, opt);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(run.status().message().find("teams_per_block"), std::string::npos)
+      << run.status().ToString();
+}
+
 TEST(EnsembleLoader, CliFrontEndMatchesFig5c) {
   Env env;
   const std::string path = testing::TempDir() + "/dgc_ensemble_args.txt";

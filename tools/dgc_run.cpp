@@ -15,6 +15,7 @@
 #include "dgcf/rpc.h"
 #include "ensemble/loader.h"
 #include "gpusim/device.h"
+#include "gpusim/memcheck.h"
 #include "gpusim/trace.h"
 #include "support/argparse.h"
 #include "support/str.h"
@@ -44,7 +45,8 @@ StatusOr<sim::DeviceSpec> PickDevice(const std::string& name,
 }
 
 void PrintOutcome(const dgcf::RunResult& run, const sim::DeviceSpec& spec,
-                  const dgcf::RpcHost& rpc, bool stats) {
+                  const dgcf::RpcHost& rpc, const dgcf::DeviceLibc& libc,
+                  bool stats, bool memcheck) {
   if (!rpc.stdout_text().empty()) {
     std::printf("%s", rpc.stdout_text().c_str());
   }
@@ -61,6 +63,15 @@ void PrintOutcome(const dgcf::RunResult& run, const sim::DeviceSpec& spec,
               FormatSeconds(spec.CyclesToSeconds(run.kernel_cycles)).c_str(),
               FormatCount(run.transfer_cycles).c_str());
   if (stats) std::printf("\n%s", run.stats.ToString().c_str());
+  if (stats || libc.failed_allocations() != 0 || libc.failed_frees() != 0) {
+    std::printf("device heap: %s live, %s failed mallocs, %s failed frees\n",
+                FormatCount(libc.live_allocations()).c_str(),
+                FormatCount(libc.failed_allocations()).c_str(),
+                FormatCount(libc.failed_frees()).c_str());
+  }
+  if (memcheck) {
+    std::printf("\n%s", run.memcheck.ToString().c_str());
+  }
   for (const std::string& f : run.failures) {
     std::fprintf(stderr, "device failure: %s\n", f.c_str());
   }
@@ -88,6 +99,8 @@ int main(int argc, char** argv) {
         "  --device <d>   a100 (default), v100, or test\n"
         "  --memory-scale <n>  capacity scale divisor (default 512)\n"
         "  --stats        print simulator statistics\n"
+        "  --memcheck     run the shadow-memory sanitizer; findings are\n"
+        "                 reported and make the run exit nonzero\n"
         "  --trace <path> write a chrome://tracing JSON of the kernel\n");
     return args.empty() ? 2 : 0;
   }
@@ -101,6 +114,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::int64_t memory_scale = 512;
   bool stats = false;
+  bool memcheck_on = false;
   std::vector<std::string> loader_args;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--device" && i + 1 < args.size()) {
@@ -116,6 +130,8 @@ int main(int argc, char** argv) {
       memory_scale = *v;
     } else if (args[i] == "--stats") {
       stats = true;
+    } else if (args[i] == "--memcheck") {
+      memcheck_on = true;
     } else {
       loader_args.push_back(args[i]);
     }
@@ -132,13 +148,16 @@ int main(int argc, char** argv) {
   dgcf::AppEnv env{&device, &rpc, &libc};
 
   sim::Trace trace;
+  sim::Memcheck memcheck;
+  if (memcheck_on) memcheck.Attach(device.memory());
   auto run = ensemble::RunEnsembleCli(env, app, loader_args,
-                                      trace_path.empty() ? nullptr : &trace);
+                                      trace_path.empty() ? nullptr : &trace,
+                                      memcheck_on ? &memcheck : nullptr);
   if (!run.ok()) {
     std::fprintf(stderr, "dgc-run: %s\n", run.status().ToString().c_str());
     return 2;
   }
-  PrintOutcome(*run, device.spec(), rpc, stats);
+  PrintOutcome(*run, device.spec(), rpc, libc, stats, memcheck_on);
   if (!trace_path.empty()) {
     const Status s = trace.WriteChromeJson(trace_path);
     if (!s.ok()) {
@@ -148,5 +167,6 @@ int main(int argc, char** argv) {
     std::printf("trace written: %s (%zu events)\n", trace_path.c_str(),
                 trace.events().size());
   }
+  if (memcheck_on && !run->memcheck.clean()) return 1;
   return run->all_ok() ? 0 : 1;
 }
