@@ -6,13 +6,15 @@
 #include <cstdio>
 
 #include "apps/common.h"
+#include "fig6_common.h"
 #include "ensemble/experiment.h"
 #include "support/str.h"
 
 using namespace dgc;
 
-int main() {
+int main(int argc, char** argv) {
   apps::RegisterAllApps();
+  const std::uint32_t jobs = bench::ParseJobsFlag(argc, argv);
 
   struct Row {
     const char* app;
@@ -35,9 +37,10 @@ int main() {
   std::printf("A100 vs V100 ensembles, thread limit 1024, speedup at 64 "
               "instances\n");
   std::printf("%-10s %-12s %-12s\n", "benchmark", "A100", "V100");
+  // One pool over all (benchmark × device) sweeps; configs stay in
+  // row-major order so the series map back per row below.
+  std::vector<ensemble::ExperimentConfig> configs;
   for (const Row& row : rows) {
-    double speedups[2] = {0, 0};
-    int k = 0;
     for (const sim::DeviceSpec& spec :
          {sim::DeviceSpec::A100_40GB(512), sim::DeviceSpec::V100_16GB(204)}) {
       ensemble::ExperimentConfig cfg;
@@ -46,15 +49,22 @@ int main() {
       cfg.instance_counts = {1, 64};
       cfg.thread_limit = 1024;
       cfg.spec = spec;
-      auto series = ensemble::MeasureSpeedup(cfg);
-      if (!series.ok()) {
-        std::fprintf(stderr, "%s on %s failed: %s\n", row.app,
-                     spec.name.c_str(), series.status().ToString().c_str());
-        return 1;
-      }
-      speedups[k++] = series->points[1].ran ? series->points[1].speedup : 0.0;
+      configs.push_back(std::move(cfg));
     }
-    std::printf("%-10s %-12.1f %-12.1f\n", row.app, speedups[0], speedups[1]);
+  }
+  auto all = ensemble::RunSweeps(configs, bench::PanelSweepOptions(jobs));
+  if (!all.ok()) {
+    std::fprintf(stderr, "failed: %s\n", all.status().ToString().c_str());
+    return 1;
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    double speedups[2] = {0, 0};
+    for (int k = 0; k < 2; ++k) {
+      const auto& point = (*all)[r * 2 + std::size_t(k)].points[1];
+      speedups[k] = point.ran ? point.speedup : 0.0;
+    }
+    std::printf("%-10s %-12.1f %-12.1f\n", rows[r].app, speedups[0],
+                speedups[1]);
     if (speedups[1] >= speedups[0]) {
       std::fprintf(stderr,
                    "CHECK FAILED: the smaller part must saturate earlier\n");

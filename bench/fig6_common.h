@@ -6,15 +6,67 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "apps/common.h"
 #include "ensemble/experiment.h"
 #include "gpusim/device_spec.h"
 #include "support/str.h"
+#include "support/thread_pool.h"
 
 namespace dgc::bench {
+
+/// Parses the bench binaries' shared command line: `--jobs N` (sweep
+/// worker threads; default one per hardware thread, `--jobs 1` is the
+/// fully serial run — output is identical either way). Exits on bad usage.
+inline std::uint32_t ParseJobsFlag(int argc, char** argv) {
+  std::uint32_t jobs = ThreadPool::DefaultThreads();
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      const auto value = ParseInt(argv[++i]);
+      if (!value.ok() || *value < 1) {
+        std::fprintf(stderr, "bad --jobs value '%s' (want a count >= 1)\n",
+                     argv[i]);
+        std::exit(2);
+      }
+      jobs = std::uint32_t(*value);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--jobs N]\n"
+                  "  --jobs N  concurrent sweep points (default: %u, the\n"
+                  "            hardware thread count; 1 = serial)\n",
+                  argv[0], ThreadPool::DefaultThreads());
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option '%s' (see --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return jobs;
+}
+
+/// Structured per-point progress on stderr so long sweeps are observable.
+inline ensemble::SweepOptions PanelSweepOptions(std::uint32_t jobs) {
+  ensemble::SweepOptions options;
+  options.jobs = jobs;
+  options.progress = [](const ensemble::SweepPointEvent& e) {
+    if (e.kind == ensemble::SweepPointEvent::Kind::kStarted) {
+      std::fprintf(stderr, "[sweep] %s tl=%u n=%u started (%zu/%zu started)\n",
+                   e.app.c_str(), e.thread_limit, e.instances,
+                   e.points_started, e.points_total);
+    } else {
+      std::fprintf(stderr,
+                   "[sweep] %s tl=%u n=%u %s in %.2fs (%zu/%zu finished)\n",
+                   e.app.c_str(), e.thread_limit, e.instances,
+                   e.ran ? "finished" : "skipped", e.wall_seconds,
+                   e.points_finished, e.points_total);
+    }
+  };
+  return options;
+}
 
 inline sim::DeviceSpec Fig6Spec() { return sim::DeviceSpec::A100_40GB(512); }
 
@@ -57,12 +109,13 @@ inline std::vector<Fig6Benchmark> Fig6Benchmarks() {
   };
 }
 
-/// Runs one panel of Fig. 6 and prints the paper-style table; returns the
-/// series for the qualitative checks.
+/// Runs one panel of Fig. 6 — all four benchmarks as one pool of
+/// independent point-jobs — and returns the series for the qualitative
+/// checks. Deterministic for any job count.
 inline std::vector<ensemble::SpeedupSeries> RunFig6Panel(
-    std::uint32_t thread_limit) {
+    std::uint32_t thread_limit, std::uint32_t jobs = 1) {
   apps::RegisterAllApps();
-  std::vector<ensemble::SpeedupSeries> all;
+  std::vector<ensemble::ExperimentConfig> configs;
   for (const Fig6Benchmark& b : Fig6Benchmarks()) {
     ensemble::ExperimentConfig cfg;
     cfg.app = b.app;
@@ -70,15 +123,14 @@ inline std::vector<ensemble::SpeedupSeries> RunFig6Panel(
     cfg.instance_counts = b.instance_counts;
     cfg.thread_limit = thread_limit;
     cfg.spec = Fig6Spec();
-    auto series = ensemble::MeasureSpeedup(cfg);
-    if (!series.ok()) {
-      std::fprintf(stderr, "%s failed: %s\n", b.app,
-                   series.status().ToString().c_str());
-      std::exit(1);
-    }
-    all.push_back(std::move(*series));
+    configs.push_back(std::move(cfg));
   }
-  return all;
+  auto all = ensemble::RunSweeps(configs, PanelSweepOptions(jobs));
+  if (!all.ok()) {
+    std::fprintf(stderr, "panel failed: %s\n", all.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*all);
 }
 
 /// Asserts the qualitative claims of §4.3 on a panel; aborts on violation

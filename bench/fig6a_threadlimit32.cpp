@@ -2,9 +2,10 @@
 // per instance — the hardware scheduler's smallest unit, §4.2).
 #include "fig6_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   const std::uint32_t kThreadLimit = 32;
-  auto series = dgc::bench::RunFig6Panel(kThreadLimit);
+  const std::uint32_t jobs = dgc::bench::ParseJobsFlag(argc, argv);
+  auto series = dgc::bench::RunFig6Panel(kThreadLimit, jobs);
   dgc::bench::CheckPanel(series, kThreadLimit);
   dgc::bench::PrintPanel(series, kThreadLimit);
   dgc::bench::ExportPanelCsv(series, kThreadLimit);

@@ -4,9 +4,10 @@
 // saturates device memory bandwidth — which this harness asserts.
 #include "fig6_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   const std::uint32_t kThreadLimit = 1024;
-  auto series = dgc::bench::RunFig6Panel(kThreadLimit);
+  const std::uint32_t jobs = dgc::bench::ParseJobsFlag(argc, argv);
+  auto series = dgc::bench::RunFig6Panel(kThreadLimit, jobs);
   dgc::bench::CheckPanel(series, kThreadLimit);
 
   // §4.3: AMGmk@1024 shows the most pronounced scaling gap of the

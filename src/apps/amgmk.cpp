@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "apps/common.h"
 #include "dgcf/rpc.h"
@@ -130,9 +131,15 @@ AmgData GenerateAmgData(const AmgParams& params) {
 std::uint64_t AmgHostReference(const AmgParams& params) {
   using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
                          std::uint32_t, std::uint64_t>;
+  // Guarded: concurrent sweep points verify against the cache (a miss
+  // recomputes outside the lock — deterministic, so duplicates agree).
+  static std::mutex memo_mutex;
   static std::map<Key, std::uint64_t> memo;
   const Key key{params.nx, params.ny, params.nz, params.sweeps, params.seed};
-  if (auto it = memo.find(key); it != memo.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex);
+    if (auto it = memo.find(key); it != memo.end()) return it->second;
+  }
 
   const AmgData data = GenerateAmgData(params);
   std::vector<double> u = data.u;
@@ -142,6 +149,7 @@ std::uint64_t AmgHostReference(const AmgParams& params) {
     std::swap(u, v);
   }
   const std::uint64_t h = HashVector(u.data(), u.size());
+  std::lock_guard<std::mutex> lock(memo_mutex);
   memo.emplace(key, h);
   return h;
 }

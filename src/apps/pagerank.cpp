@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "apps/common.h"
 #include "dgcf/rpc.h"
@@ -110,10 +111,16 @@ PrData GeneratePrData(const PrParams& params) {
 std::uint64_t PrHostReference(const PrParams& params) {
   using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
                          std::int64_t, std::uint64_t>;
+  // Guarded: concurrent sweep points verify against the cache (a miss
+  // recomputes outside the lock — deterministic, so duplicates agree).
+  static std::mutex memo_mutex;
   static std::map<Key, std::uint64_t> memo;
   const Key key{params.n_nodes, params.avg_degree, params.iterations,
                 std::llround(params.damping * 1e9), params.seed};
-  if (auto it = memo.find(key); it != memo.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex);
+    if (auto it = memo.find(key); it != memo.end()) return it->second;
+  }
 
   const PrData data = GeneratePrData(params);
   std::vector<double> r = data.rank;
@@ -123,6 +130,7 @@ std::uint64_t PrHostReference(const PrParams& params) {
     std::swap(r, next);
   }
   const std::uint64_t h = HashRanks(r.data(), r.size());
+  std::lock_guard<std::mutex> lock(memo_mutex);
   memo.emplace(key, h);
   return h;
 }

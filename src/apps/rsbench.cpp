@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "apps/common.h"
 #include "dgcf/rpc.h"
@@ -135,10 +136,16 @@ void RsSampleLookup(const RsParams& params, std::uint64_t lookup,
 std::uint64_t RsHostReference(const RsParams& params) {
   using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
                          std::uint32_t, std::uint32_t, std::uint64_t>;
+  // Guarded: concurrent sweep points verify against the cache (a miss
+  // recomputes outside the lock — deterministic, so duplicates agree).
+  static std::mutex memo_mutex;
   static std::map<Key, std::uint64_t> memo;
   const Key key{params.n_nuclides, params.n_windows, params.poles_per_window,
                 params.n_materials, params.n_lookups, params.seed};
-  if (auto it = memo.find(key); it != memo.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex);
+    if (auto it = memo.find(key); it != memo.end()) return it->second;
+  }
 
   const RsData data = GenerateRsData(params);
   std::uint64_t verification = 0;
@@ -168,6 +175,7 @@ std::uint64_t RsHostReference(const RsParams& params) {
     }
     verification ^= HashSigmas(sig_t, sig_a);
   }
+  std::lock_guard<std::mutex> lock(memo_mutex);
   memo.emplace(key, verification);
   return verification;
 }

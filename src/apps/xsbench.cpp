@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include <map>
+#include <mutex>
 
 #include "apps/common.h"
 #include "dgcf/rpc.h"
@@ -202,10 +203,17 @@ std::uint64_t XsHostReference(const XsParams& params) {
   // same handful of parameter sets.
   using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
                          std::uint32_t, std::uint64_t>;
+  // Guarded: concurrent sweep points verify against the cache. A miss
+  // computes outside the lock (worst case two workers duplicate the same
+  // deterministic value).
+  static std::mutex memo_mutex;
   static std::map<Key, std::uint64_t> memo;
   const Key key{params.n_isotopes, params.n_gridpoints, params.n_materials,
                 params.n_lookups, params.seed};
-  if (auto it = memo.find(key); it != memo.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex);
+    if (auto it = memo.find(key); it != memo.end()) return it->second;
+  }
 
   // The reference uses the canonical per-nuclide index search directly —
   // every acceleration structure must locate the same bracketing index, so
@@ -250,6 +258,7 @@ std::uint64_t XsHostReference(const XsParams& params) {
     }
     verification ^= HashMacroXs(macro);
   }
+  std::lock_guard<std::mutex> lock(memo_mutex);
   memo.emplace(key, verification);
   return verification;
 }

@@ -8,21 +8,26 @@ AppRegistry& AppRegistry::Instance() {
 }
 
 bool AppRegistry::Register(AppInfo info) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = apps_.insert_or_assign(info.name, std::move(info));
   (void)it;
   return inserted;
 }
 
 StatusOr<const AppInfo*> AppRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = apps_.find(name);
   if (it == apps_.end()) {
     return Status(ErrorCode::kNotFound,
                   "no device-compiled application named '" + name + "'");
   }
+  // std::map iterators are stable: the pointer survives other insertions,
+  // and outliving a re-registration of the same name is documented out.
   return &it->second;
 }
 
 std::vector<std::string> AppRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(apps_.size());
   for (const auto& [name, info] : apps_) names.push_back(name);

@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -57,7 +58,10 @@ struct AppInfo {
   UserMainFn user_main;
 };
 
-/// Process-wide registry of device-compiled applications.
+/// Process-wide registry of device-compiled applications. Lookups are safe
+/// from concurrent sweep workers; registration normally happens at load
+/// time / before any launch (an AppInfo pointer returned by Find stays
+/// valid only until its name is re-registered).
 class AppRegistry {
  public:
   static AppRegistry& Instance();
@@ -68,9 +72,13 @@ class AppRegistry {
 
   StatusOr<const AppInfo*> Find(const std::string& name) const;
   std::vector<std::string> Names() const;
-  std::size_t size() const { return apps_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return apps_.size();
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, AppInfo> apps_;
 };
 

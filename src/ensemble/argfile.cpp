@@ -20,7 +20,15 @@ StatusOr<std::vector<std::vector<std::string>>> ParseArgumentLines(
     for (std::size_t i = 0; i < line.size(); ++i) {
       const char c = line[i];
       if (quote != 0) {
-        if (c == quote) quote = 0;
+        // Mirror TokenizeCommandLine exactly: inside double quotes \" and
+        // \\ are escapes (a mismatch here would truncate the line mid-token
+        // and fail tokenization with "unterminated quote").
+        if (c == '\\' && quote == '"' && i + 1 < line.size() &&
+            (line[i + 1] == '"' || line[i + 1] == '\\')) {
+          ++i;
+        } else if (c == quote) {
+          quote = 0;
+        }
       } else if (c == '\'' || c == '"') {
         quote = c;
       } else if (c == '\\') {

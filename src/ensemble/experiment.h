@@ -1,6 +1,14 @@
 // Evaluation harness for the paper's Fig. 6 methodology (§4.2/§4.3):
 // run N ∈ {1,2,4,...} concurrent instances, each team executing one
 // instance, and report relative speedup T1·N / TN.
+//
+// Every (benchmark × thread_limit × instance_count) point is an independent
+// simulation on a fresh device, so a sweep decomposes into point-jobs that
+// can fill all host cores (the paper's own ensemble argument, applied to
+// the harness). The runner is deterministic for any job count: points are
+// written into pre-assigned slots, reassembled in declaration order, and
+// speedups resolved against the 1-instance baseline in a final sequential
+// pass — the rendered output is byte-identical to a serial run.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +33,32 @@ struct ExperimentConfig {
   sim::DeviceSpec spec;               ///< fresh device per measurement
 };
 
+/// Progress of one sweep point, reported as it starts and finishes so long
+/// sweeps are observable. Counters are totals across the whole RunSweeps
+/// call (all series), monotone, and include the event being reported.
+struct SweepPointEvent {
+  enum class Kind : std::uint8_t { kStarted, kFinished };
+  Kind kind = Kind::kStarted;
+  std::string app;
+  std::uint32_t thread_limit = 0;
+  std::uint32_t instances = 0;
+  std::size_t points_total = 0;
+  std::size_t points_started = 0;   ///< points started so far
+  std::size_t points_finished = 0;  ///< points finished so far
+  bool ran = false;                 ///< kFinished only
+  double wall_seconds = 0.0;        ///< kFinished only: host wall time
+};
+
+struct SweepOptions {
+  /// Concurrent point-jobs. 1 (default) runs fully serial — bit-for-bit
+  /// the pre-parallel behaviour, no worker threads; 0 means one job per
+  /// hardware thread. Output is identical for every value.
+  std::uint32_t jobs = 1;
+  /// Optional observer. Invocations are serialized (never concurrent) but
+  /// arrive from worker threads when jobs > 1.
+  std::function<void(const SweepPointEvent&)> progress;
+};
+
 struct SpeedupPoint {
   std::uint32_t instances = 0;
   bool ran = false;        ///< false: configuration skipped (e.g. OOM)
@@ -43,17 +77,27 @@ struct SpeedupSeries {
   double MaxSpeedup() const;
 };
 
-/// Runs the sweep. The first count must be 1 (it defines T1). A
+/// Runs one sweep. The first count must be 1 (it defines T1). A
 /// configuration whose instances cannot all allocate (device OOM) is
-/// recorded as ran=false — the paper's Page-Rank case.
-StatusOr<SpeedupSeries> MeasureSpeedup(const ExperimentConfig& config);
+/// recorded as ran=false — the paper's Page-Rank case. If the 1-instance
+/// baseline itself cannot run, the whole series is marked not-ran (T1 is
+/// undefined, so no point may report a speedup).
+StatusOr<SpeedupSeries> MeasureSpeedup(const ExperimentConfig& config,
+                                       const SweepOptions& options = {});
+
+/// Runs several sweeps as one pool of independent point-jobs (a full
+/// Fig. 6 panel is one call), returning the series in `configs` order.
+StatusOr<std::vector<SpeedupSeries>> RunSweeps(
+    const std::vector<ExperimentConfig>& configs,
+    const SweepOptions& options = {});
 
 /// Renders one or more series as the paper-style text table: one column
 /// per instance count, one row per benchmark, plus the Linear bound row.
 std::string FormatSpeedupTable(const std::vector<SpeedupSeries>& series);
 
 /// CSV form of the series (one row per benchmark×count) for plotting:
-/// benchmark,thread_limit,instances,ran,cycles,speedup
+/// benchmark,thread_limit,instances,ran,cycles,speedup. Points with ran=0
+/// leave cycles and speedup empty — they are absences, not measured zeros.
 std::string FormatSpeedupCsv(const std::vector<SpeedupSeries>& series);
 
 /// Writes the CSV to a file (overwrites).

@@ -5,7 +5,10 @@
 namespace dgc::sim {
 
 Lane*& CurrentLane() {
-  static Lane* current = nullptr;
+  // thread_local, not static: each device simulation is single-threaded,
+  // but the sweep harness runs independent Device instances on concurrent
+  // host threads, each needing its own resumption cursor.
+  thread_local Lane* current = nullptr;
   return current;
 }
 

@@ -123,9 +123,11 @@ class Lane {
   bool root_finished_ = false;
 };
 
-/// The lane currently being resumed (the simulator is single-threaded, so a
-/// process-wide slot is sufficient and fast). Awaiters use it to reach the
-/// scheduler without threading a pointer through every promise.
+/// The lane currently being resumed. Awaiters use it to reach the scheduler
+/// without threading a pointer through every promise. Each simulation is
+/// single-threaded, but the ensemble sweep harness runs independent Device
+/// instances on concurrent host threads — the slot is therefore one per
+/// host thread (thread_local), never process-wide.
 Lane*& CurrentLane();
 
 }  // namespace dgc::sim

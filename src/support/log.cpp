@@ -1,5 +1,6 @@
 #include "support/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -15,8 +16,10 @@ LogLevel InitialLevel() {
   return LogLevel::kWarning;
 }
 
-LogLevel& GlobalLevel() {
-  static LogLevel level = InitialLevel();
+// Atomic: sweep workers consult the level concurrently with any host-side
+// SetLogLevel (relaxed is enough — the level is an independent knob).
+std::atomic<LogLevel>& GlobalLevel() {
+  static std::atomic<LogLevel> level{InitialLevel()};
   return level;
 }
 
@@ -35,8 +38,12 @@ char ToLowerAscii(char c) { return (c >= 'A' && c <= 'Z') ? char(c - 'A' + 'a') 
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { GlobalLevel() = level; }
-LogLevel GetLogLevel() { return GlobalLevel(); }
+void SetLogLevel(LogLevel level) {
+  GlobalLevel().store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() {
+  return GlobalLevel().load(std::memory_order_relaxed);
+}
 
 bool ParseLogLevel(std::string_view text, LogLevel& out) {
   std::string lower(text);

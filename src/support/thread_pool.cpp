@@ -1,0 +1,105 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace dgc {
+
+unsigned ThreadPool::DefaultThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> job) {
+  DGC_CHECK(job != nullptr);
+  std::packaged_task<void()> task(std::move(job));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+Status ThreadPool::RunAll(std::vector<std::function<void()>> jobs) {
+  if (jobs.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "ThreadPool::RunAll: no jobs to run");
+  }
+  for (const auto& job : jobs) {
+    if (job == nullptr) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "ThreadPool::RunAll: null job");
+    }
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(jobs.size());
+  for (auto& job : jobs) futures.push_back(Submit(std::move(job)));
+  // Wait for everything before reporting, so no job outlives the caller's
+  // state; the smallest-index exception wins (deterministic under races).
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return Status::Ok();
+}
+
+Status ParallelFor(std::size_t count, unsigned threads,
+                   const std::function<void(std::size_t)>& body) {
+  if (count == 0) {
+    return Status(ErrorCode::kInvalidArgument, "ParallelFor: no jobs to run");
+  }
+  if (body == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "ParallelFor: null body");
+  }
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return Status::Ok();
+  }
+  ThreadPool pool(unsigned(std::min<std::size_t>(threads, count)));
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    jobs.push_back([&body, i] { body(i); });
+  }
+  return pool.RunAll(std::move(jobs));
+}
+
+}  // namespace dgc

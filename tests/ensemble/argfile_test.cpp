@@ -42,6 +42,30 @@ TEST(ArgFile, QuotedHashIsNotComment) {
   EXPECT_EQ((*lines)[0], (std::vector<std::string>{"-m", "#5", "-x", "a # b"}));
 }
 
+// Regression: the comment scanner must honor the tokenizer's \" escape
+// inside double quotes. It used to treat the escaped quote as the closing
+// one, truncate the line at the #, and fail with "unterminated quote".
+TEST(ArgFile, EscapedQuoteInsideDoubleQuotesIsNotAComment) {
+  auto lines = ParseArgumentLines("prog \"a\\\"# b\"\n");
+  ASSERT_TRUE(lines.ok()) << lines.status().ToString();
+  EXPECT_EQ((*lines)[0], (std::vector<std::string>{"prog", "a\"# b"}));
+}
+
+TEST(ArgFile, EscapedBackslashInsideDoubleQuotesEndsTheQuote) {
+  // "c:\\" is a complete token (literal c:\); the # after it is a comment.
+  auto lines = ParseArgumentLines("-x \"c:\\\\\" # trailing\n");
+  ASSERT_TRUE(lines.ok()) << lines.status().ToString();
+  EXPECT_EQ((*lines)[0], (std::vector<std::string>{"-x", "c:\\"}));
+}
+
+TEST(ArgFile, EscapedHashAfterDoubleQuotedEscapeStillComments) {
+  // Single quotes take no escapes: \" inside '' stays two characters, and
+  // the scanner must agree with the tokenizer on that too.
+  auto lines = ParseArgumentLines("-y '\\' # comment\n");
+  ASSERT_TRUE(lines.ok()) << lines.status().ToString();
+  EXPECT_EQ((*lines)[0], (std::vector<std::string>{"-y", "\\"}));
+}
+
 TEST(ArgFile, QuotedArgumentsKeepSpaces) {
   auto lines = ParseArgumentLines("-m 'hello world'\n-m plain\n");
   ASSERT_TRUE(lines.ok());

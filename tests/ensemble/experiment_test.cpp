@@ -2,6 +2,7 @@
 // that regenerates the paper's Fig. 6 series.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 
 #include "apps/common.h"
@@ -64,6 +65,101 @@ TEST_F(ExperimentTest, DeterministicAcrossInvocations) {
   for (std::size_t i = 0; i < a->points.size(); ++i) {
     EXPECT_EQ(a->points[i].cycles, b->points[i].cycles);
   }
+}
+
+// The tentpole guarantee: a parallel sweep renders byte-identically to the
+// serial one — points land in declaration order, speedups are resolved in
+// the final sequential pass.
+TEST_F(ExperimentTest, ParallelSweepOutputIsByteIdenticalToSerial) {
+  // Two series, including one with a not-ran (OOM) tail, so reassembly,
+  // baseline resolution, and skip handling are all exercised.
+  ExperimentConfig oom = SmallConfig();
+  oom.app = "pagerank";
+  oom.args_for_instance = [](std::uint32_t i) {
+    return std::vector<std::string>{"-g", "150000", "-d", "12",
+                                    "-s", StrFormat("%u", i + 1)};
+  };
+  oom.instance_counts = {1, 2, 8};
+  const std::vector<ExperimentConfig> configs{SmallConfig(), oom};
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 8;
+  auto a = RunSweeps(configs, serial);
+  auto b = RunSweeps(configs, parallel);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(FormatSpeedupCsv(*a), FormatSpeedupCsv(*b));
+  EXPECT_EQ(FormatSpeedupTable(*a), FormatSpeedupTable(*b));
+}
+
+TEST_F(ExperimentTest, ProgressEventsCoverEveryPoint) {
+  SweepOptions options;
+  options.jobs = 4;
+  std::size_t started = 0, finished = 0, max_total = 0;
+  bool monotone = true;
+  std::size_t last_started = 0, last_finished = 0;
+  options.progress = [&](const SweepPointEvent& e) {
+    // Serialized by the runner, so plain counters are safe here.
+    if (e.kind == SweepPointEvent::Kind::kStarted) ++started;
+    else ++finished;
+    if (e.points_started < last_started || e.points_finished < last_finished) {
+      monotone = false;
+    }
+    last_started = e.points_started;
+    last_finished = e.points_finished;
+    max_total = std::max(max_total, e.points_total);
+    if (e.kind == SweepPointEvent::Kind::kFinished) {
+      if (e.ran) EXPECT_GE(e.wall_seconds, 0.0);
+    }
+  };
+  auto series = MeasureSpeedup(SmallConfig(), options);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(started, 3u);
+  EXPECT_EQ(finished, 3u);
+  EXPECT_EQ(max_total, 3u);
+  EXPECT_TRUE(monotone);
+}
+
+// Regression: a series whose 1-instance baseline cannot run must not
+// report speedups at all — T1 = 0 would silently render every later point
+// as speedup 0.000000 in the figure.
+TEST_F(ExperimentTest, BaselineOomMarksWholeSeriesNotRan) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.app = "pagerank";
+  // One instance alone exceeds the 64 MiB test device.
+  cfg.args_for_instance = [](std::uint32_t i) {
+    return std::vector<std::string>{"-g", "1500000", "-d", "12",
+                                    "-s", StrFormat("%u", i + 1)};
+  };
+  cfg.instance_counts = {1, 2};
+  auto series = MeasureSpeedup(cfg);
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  ASSERT_EQ(series->points.size(), 2u);
+  for (const auto& p : series->points) {
+    EXPECT_FALSE(p.ran);
+    EXPECT_EQ(p.speedup, 0.0);
+  }
+  EXPECT_NE(series->points[0].note.find("memory"), std::string::npos);
+  EXPECT_NE(series->points[1].note.find("baseline"), std::string::npos);
+  // And the CSV renders absences, not zero measurements.
+  const std::string csv = FormatSpeedupCsv({*series});
+  EXPECT_EQ(csv.find("0.000000"), std::string::npos);
+}
+
+TEST_F(ExperimentTest, RunSweepsPreservesConfigOrder) {
+  ExperimentConfig second = SmallConfig();
+  second.thread_limit = 16;
+  auto all = RunSweeps({SmallConfig(), second});
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ((*all)[0].thread_limit, 32u);
+  EXPECT_EQ((*all)[1].thread_limit, 16u);
+}
+
+TEST_F(ExperimentTest, RunSweepsRejectsEmptyConfigList) {
+  EXPECT_FALSE(RunSweeps({}).ok());
 }
 
 TEST_F(ExperimentTest, OomConfigurationsAreSkippedNotFatal) {
@@ -150,7 +246,20 @@ TEST(SpeedupCsv, FormatsHeaderAndRows) {
   EXPECT_NE(csv.find("benchmark,thread_limit,instances,ran,cycles,speedup"),
             std::string::npos);
   EXPECT_NE(csv.find("demo,32,1,1,100,1.000000"), std::string::npos);
-  EXPECT_NE(csv.find("demo,32,8,0,0,0.000000"), std::string::npos);
+  EXPECT_NE(csv.find("demo,32,8,0,,"), std::string::npos);
+}
+
+// Regression: a skipped point must never render as cycles=0,speedup=0 —
+// plotting scripts ingest those as real measured zeros.
+TEST(SpeedupCsv, NotRanRowsHaveEmptyFieldsNotZeros) {
+  SpeedupSeries s;
+  s.app = "demo";
+  s.thread_limit = 1024;
+  s.points.push_back({.instances = 8, .ran = false, .note = "oom"});
+  const std::string csv = FormatSpeedupCsv({s});
+  EXPECT_NE(csv.find("demo,1024,8,0,,\n"), std::string::npos);
+  EXPECT_EQ(csv.find(",0,0,"), std::string::npos);
+  EXPECT_EQ(csv.find("0.000000"), std::string::npos);
 }
 
 TEST(SpeedupCsv, WritesAndReadsBack) {

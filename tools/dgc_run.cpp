@@ -5,7 +5,10 @@
 //
 // plus quality-of-life flags: device selection, single-instance mode, the
 // argument-script language, stats reporting, and app discovery.
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -13,12 +16,16 @@
 #include "dgcf/libc.h"
 #include "dgcf/loader.h"
 #include "dgcf/rpc.h"
+#include "ensemble/argfile.h"
+#include "ensemble/argscript.h"
+#include "ensemble/experiment.h"
 #include "ensemble/loader.h"
 #include "gpusim/device.h"
 #include "gpusim/memcheck.h"
 #include "gpusim/trace.h"
 #include "support/argparse.h"
 #include "support/str.h"
+#include "support/thread_pool.h"
 #include "support/units.h"
 
 using namespace dgc;
@@ -77,6 +84,103 @@ void PrintOutcome(const dgcf::RunResult& run, const sim::DeviceSpec& spec,
   }
 }
 
+/// --sweep mode: the Fig. 6 methodology from the command line. Runs the app
+/// at each instance count (first must be 1 — it defines T1) on a fresh
+/// device per point, `jobs` points concurrently, and prints the paper-style
+/// speedup table. Output is identical for every job count.
+int RunSweepMode(const std::string& app,
+                 const std::vector<std::string>& loader_args,
+                 const std::vector<std::uint32_t>& counts, std::uint32_t jobs,
+                 const std::string& csv_path, const sim::DeviceSpec& spec) {
+  std::string file;
+  std::int64_t threads = 1024, per_block = 1, seed = 0;
+  bool script = false;
+  ArgParser parser("ensemble sweep (Fig. 6 methodology)");
+  parser.AddString("file", 'f', "command line arguments file", &file,
+                   /*required=*/true)
+      .AddInt("thread-limit", 't', "max threads per instance", &threads)
+      .AddInt("teams-per-block", 'm', "instances per thread block (§3.1)",
+              &per_block)
+      .AddFlag("script", 0, "treat the file as an argument script", &script)
+      .AddInt("seed", 0, "argument-script random seed", &seed);
+  const Status parsed = parser.Parse(loader_args);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "dgc-run: %s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  if (threads <= 0 || per_block <= 0) {
+    std::fprintf(stderr, "dgc-run: counts must be positive\n");
+    return 2;
+  }
+
+  auto lines = script ? [&]() -> StatusOr<std::vector<std::vector<std::string>>> {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      return Status(ErrorCode::kNotFound, "cannot open script file: " + file);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return ensemble::ExpandScriptToArgs(buffer.str(), std::uint64_t(seed));
+  }()
+                      : ensemble::LoadArgumentFile(file);
+  if (!lines.ok()) {
+    std::fprintf(stderr, "dgc-run: %s\n", lines.status().ToString().c_str());
+    return 2;
+  }
+  std::uint32_t max_count = 0;
+  for (std::uint32_t n : counts) max_count = std::max(max_count, n);
+  if (max_count > lines->size()) {
+    std::fprintf(stderr,
+                 "dgc-run: --sweep needs %u argument lines but '%s' provides "
+                 "only %zu\n",
+                 max_count, file.c_str(), lines->size());
+    return 2;
+  }
+
+  ensemble::ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.args_for_instance = [lines = *lines](std::uint32_t i) {
+    return lines[i];
+  };
+  cfg.instance_counts = counts;
+  cfg.thread_limit = std::uint32_t(threads);
+  cfg.teams_per_block = std::uint32_t(per_block);
+  cfg.spec = spec;
+
+  ensemble::SweepOptions options;
+  options.jobs = jobs;
+  options.progress = [](const ensemble::SweepPointEvent& e) {
+    if (e.kind == ensemble::SweepPointEvent::Kind::kFinished) {
+      std::fprintf(stderr, "[sweep] n=%u %s in %.2fs (%zu/%zu finished)\n",
+                   e.instances, e.ran ? "finished" : "skipped", e.wall_seconds,
+                   e.points_finished, e.points_total);
+    }
+  };
+
+  auto series = ensemble::MeasureSpeedup(cfg, options);
+  if (!series.ok()) {
+    std::fprintf(stderr, "dgc-run: %s\n", series.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s speedup sweep, thread limit %u, device %s\n\n",
+              app.c_str(), cfg.thread_limit, spec.name.c_str());
+  std::printf("%s", ensemble::FormatSpeedupTable({*series}).c_str());
+  for (const ensemble::SpeedupPoint& p : series->points) {
+    if (!p.ran && !p.note.empty()) {
+      std::printf("n=%u skipped: %s\n", p.instances, p.note.c_str());
+    }
+  }
+  if (!csv_path.empty()) {
+    const Status s = ensemble::WriteSpeedupCsv({*series}, csv_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "csv export failed: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    std::printf("csv written: %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,7 +205,15 @@ int main(int argc, char** argv) {
         "  --stats        print simulator statistics\n"
         "  --memcheck     run the shadow-memory sanitizer; findings are\n"
         "                 reported and make the run exit nonzero\n"
-        "  --trace <path> write a chrome://tracing JSON of the kernel\n");
+        "  --trace <path> write a chrome://tracing JSON of the kernel\n"
+        "  --trace-capacity <n>  max trace events kept (default 1048576);\n"
+        "                 overflow is dropped and reported\n"
+        "  --sweep <n1,n2,...>  Fig. 6 mode: measure speedup at each\n"
+        "                 instance count (first must be 1) instead of one\n"
+        "                 run; prints the paper-style table\n"
+        "  --csv <path>   with --sweep: also export the series as CSV\n"
+        "  --jobs <n>     with --sweep: concurrent sweep points (default:\n"
+        "                 hardware threads; 1 = serial, same output)\n");
     return args.empty() ? 2 : 0;
   }
   if (args[0] == "--list") return ListApps();
@@ -112,7 +224,11 @@ int main(int argc, char** argv) {
   // Split off tool options (anything before the first loader flag we know).
   std::string device_name = "a100";
   std::string trace_path;
+  std::string csv_path;
   std::int64_t memory_scale = 512;
+  std::int64_t trace_capacity = 1 << 20;
+  std::uint32_t jobs = ThreadPool::DefaultThreads();
+  std::vector<std::uint32_t> sweep_counts;
   bool stats = false;
   bool memcheck_on = false;
   std::vector<std::string> loader_args;
@@ -121,6 +237,13 @@ int main(int argc, char** argv) {
       device_name = args[++i];
     } else if (args[i] == "--trace" && i + 1 < args.size()) {
       trace_path = args[++i];
+    } else if (args[i] == "--trace-capacity" && i + 1 < args.size()) {
+      auto v = ParseInt(args[++i]);
+      if (!v.ok() || *v <= 0) {
+        std::fprintf(stderr, "bad --trace-capacity\n");
+        return 2;
+      }
+      trace_capacity = *v;
     } else if (args[i] == "--memory-scale" && i + 1 < args.size()) {
       auto v = ParseInt(args[++i]);
       if (!v.ok() || *v <= 0) {
@@ -128,6 +251,24 @@ int main(int argc, char** argv) {
         return 2;
       }
       memory_scale = *v;
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      auto v = ParseInt(args[++i]);
+      if (!v.ok() || *v < 1) {
+        std::fprintf(stderr, "bad --jobs (want a count >= 1)\n");
+        return 2;
+      }
+      jobs = std::uint32_t(*v);
+    } else if (args[i] == "--sweep" && i + 1 < args.size()) {
+      for (std::string_view part : SplitChar(args[++i], ',')) {
+        auto v = ParseInt(part);
+        if (!v.ok() || *v < 1) {
+          std::fprintf(stderr, "bad --sweep list (want counts >= 1)\n");
+          return 2;
+        }
+        sweep_counts.push_back(std::uint32_t(*v));
+      }
+    } else if (args[i] == "--csv" && i + 1 < args.size()) {
+      csv_path = args[++i];
     } else if (args[i] == "--stats") {
       stats = true;
     } else if (args[i] == "--memcheck") {
@@ -142,12 +283,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
     return 2;
   }
+  if (!sweep_counts.empty()) {
+    return RunSweepMode(app, loader_args, sweep_counts, jobs, csv_path, *spec);
+  }
   sim::Device device(*spec);
   dgcf::RpcHost rpc(device);
   dgcf::DeviceLibc libc(device);
   dgcf::AppEnv env{&device, &rpc, &libc};
 
-  sim::Trace trace;
+  sim::Trace trace{std::size_t(trace_capacity)};
   sim::Memcheck memcheck;
   if (memcheck_on) memcheck.Attach(device.memory());
   auto run = ensemble::RunEnsembleCli(env, app, loader_args,
@@ -166,6 +310,15 @@ int main(int argc, char** argv) {
     }
     std::printf("trace written: %s (%zu events)\n", trace_path.c_str(),
                 trace.events().size());
+    if (trace.dropped() > 0) {
+      // A capacity-truncated export would otherwise read as a complete
+      // timeline in chrome://tracing.
+      std::fprintf(stderr,
+                   "warning: trace capacity reached — %llu event(s) dropped; "
+                   "the exported timeline is incomplete (raise "
+                   "--trace-capacity)\n",
+                   (unsigned long long)trace.dropped());
+    }
   }
   if (memcheck_on && !run->memcheck.clean()) return 1;
   return run->all_ok() ? 0 : 1;
