@@ -1,12 +1,18 @@
 #include "dgcf/libc.h"
 
 #include "support/log.h"
+#include "support/str.h"
 
 namespace dgc::dgcf {
 
 sim::DeviceTask<sim::DeviceBuffer> DeviceLibc::Malloc(sim::ThreadCtx& ctx,
                                                       std::uint64_t bytes) {
   co_await ctx.Work(kHeapOpCycles);
+  if (faults_ != nullptr && faults_->NextMallocFails()) {
+    ++failed_;
+    DGC_LOG(kInfo) << "device malloc(" << bytes << ") failed: injected";
+    co_return sim::DeviceBuffer{};
+  }
   auto buf = device_.Malloc(bytes);
   if (!buf.ok()) {
     ++failed_;
@@ -16,6 +22,28 @@ sim::DeviceTask<sim::DeviceBuffer> DeviceLibc::Malloc(sim::ThreadCtx& ctx,
   }
   ++live_;
   co_return *buf;
+}
+
+sim::DeviceTask<sim::DeviceBuffer> DeviceLibc::MallocOrTrap(
+    sim::ThreadCtx& ctx, std::uint64_t bytes) {
+  sim::DeviceBuffer buf = co_await Malloc(ctx, bytes);
+  if (buf.host == nullptr) {
+    throw sim::DeviceTrap(
+        sim::TrapKind::kOOM,
+        StrFormat("malloc(%llu) failed with no error check",
+                  static_cast<unsigned long long>(bytes)));
+  }
+  co_return buf;
+}
+
+void DeviceLibc::Abort(const char* why) {
+  throw sim::DeviceTrap(sim::TrapKind::kAbort, why);
+}
+
+void DeviceLibc::AssertFail(const char* expr, const char* file, int line) {
+  throw sim::DeviceTrap(
+      sim::TrapKind::kAbort,
+      StrFormat("assertion `%s' failed at %s:%d", expr, file, line));
 }
 
 sim::DeviceTask<void> DeviceLibc::Free(sim::ThreadCtx& ctx,

@@ -14,6 +14,7 @@
 
 #include "gpusim/ctx.h"
 #include "gpusim/device.h"
+#include "gpusim/faults.h"
 #include "gpusim/task.h"
 #include "support/status.h"
 
@@ -26,12 +27,32 @@ class DeviceLibc {
   DeviceLibc(const DeviceLibc&) = delete;
   DeviceLibc& operator=(const DeviceLibc&) = delete;
 
+  /// Installs a deterministic fault plan: each Malloc first consults
+  /// plan->NextMallocFails() and fails (null buffer) when it says so, as if
+  /// the heap were exhausted. nullptr turns injection off.
+  void set_fault_plan(sim::FaultPlan* plan) { faults_ = plan; }
+
   /// Device-side malloc: charges the allocation cost and returns the
   /// buffer, or a null buffer (host == nullptr) on out-of-memory — the
   /// C-malloc contract; callers must check. This is how ensemble instances
   /// contend for device memory capacity (the paper's Page-Rank limit).
   sim::DeviceTask<sim::DeviceBuffer> Malloc(sim::ThreadCtx& ctx,
                                             std::uint64_t bytes);
+
+  /// Malloc for code that does NOT check (most directly-compiled apps
+  /// dereference malloc results unconditionally): throws
+  /// DeviceTrap(kOOM) on allocation failure instead of returning a null
+  /// buffer, so the loader can contain the failure to the instance.
+  sim::DeviceTask<sim::DeviceBuffer> MallocOrTrap(sim::ThreadCtx& ctx,
+                                                  std::uint64_t bytes);
+
+  /// abort(3): terminates the calling instance with an abort trap.
+  /// [[noreturn]] in spirit — always throws DeviceTrap(kAbort).
+  static void Abort(const char* why = "abort() called");
+
+  /// assert(3) failure path: formats `expr` at file:line into the trap
+  /// message and aborts the instance.
+  static void AssertFail(const char* expr, const char* file, int line);
 
   /// Device-side free. free(NULL) is a free no-op, like C; freeing an
   /// unknown address is ignored functionally but counted (and is a
@@ -65,6 +86,7 @@ class DeviceLibc {
 
  private:
   sim::Device& device_;
+  sim::FaultPlan* faults_ = nullptr;
   std::uint64_t live_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t failed_frees_ = 0;

@@ -3,8 +3,34 @@
 #include "dgcf/argv.h"
 #include "gpusim/device.h"
 #include "ompx/league.h"
+#include "support/str.h"
 
 namespace dgc::dgcf {
+
+std::string_view ToString(TerminationReason reason) {
+  switch (reason) {
+    case TerminationReason::kReturned: return "returned";
+    case TerminationReason::kNotStarted: return "not-started";
+    case TerminationReason::kException: return "exception";
+    case TerminationReason::kTrapOOM: return "oom";
+    case TerminationReason::kTrapAbort: return "abort";
+    case TerminationReason::kTrapInjected: return "injected";
+    case TerminationReason::kDeadlock: return "deadlock";
+    case TerminationReason::kWatchdog: return "watchdog";
+  }
+  return "unknown";
+}
+
+TerminationReason ReasonForTrap(sim::TrapKind kind) {
+  switch (kind) {
+    case sim::TrapKind::kOOM: return TerminationReason::kTrapOOM;
+    case sim::TrapKind::kAbort: return TerminationReason::kTrapAbort;
+    case sim::TrapKind::kWatchdog: return TerminationReason::kWatchdog;
+    case sim::TrapKind::kInjected: return TerminationReason::kTrapInjected;
+    case sim::TrapKind::kNone: break;
+  }
+  return TerminationReason::kException;
+}
 
 StatusOr<RunResult> RunSingleInstance(AppEnv& env,
                                       const SingleRunOptions& options) {
@@ -31,21 +57,57 @@ StatusOr<RunResult> RunSingleInstance(AppEnv& env,
   cfg.thread_limit = options.thread_limit;
   cfg.name = "single-instance";
   cfg.memcheck = options.memcheck;
+  cfg.faults = options.faults;
+  cfg.watchdog_cycles = options.watchdog_cycles != 0
+                            ? options.watchdog_cycles
+                            : env.device->spec().DefaultWatchdogCycles();
+  // One instance: every lane of the launch belongs to it.
+  cfg.instance_of = [](std::uint32_t, std::uint32_t) { return 0; };
 
   InstanceResult& inst = run.instances[0];
   auto result = ompx::LaunchTeams(
       *env.device, cfg,
       [&](ompx::TeamCtx& team) -> sim::DeviceTask<void> {
-        inst.exit_code =
-            co_await app->user_main(env, team, argv.argc(0), argv.argv(0));
-        inst.completed = true;
+        inst.attempts = 1;
+        const std::uint64_t started = team.hw->Now();
+        try {
+          inst.exit_code =
+              co_await app->user_main(env, team, argv.argc(0), argv.argv(0));
+          inst.completed = true;
+          inst.reason = TerminationReason::kReturned;
+        } catch (const sim::DeviceTrap& trap) {
+          inst.reason = ReasonForTrap(trap.kind());
+          inst.detail = trap.what();
+        } catch (const std::exception& e) {
+          inst.reason = TerminationReason::kException;
+          inst.detail = e.what();
+        }
+        inst.cycles = team.hw->Now() - started;
+        // A trapped initial thread still terminates the team normally (the
+        // loader lambda returns), so the launch drains and siblings — here
+        // none — are unaffected. Re-raise nothing: the failure is already
+        // recorded on the instance; the per-lane failure log entry comes
+        // from RecordFailure only for lanes that die, which this one no
+        // longer does.
       });
   DGC_RETURN_IF_ERROR(result.status());
 
+  run.waves = 1;
   run.kernel_cycles = result->cycles;
   run.stats = result->stats;
   run.failures = std::move(result->failures);
   run.memcheck = std::move(result->memcheck);
+  if (result->outcome == sim::LaunchOutcome::kDeadlocked && !inst.completed &&
+      inst.reason == TerminationReason::kNotStarted) {
+    inst.reason = TerminationReason::kDeadlock;
+  }
+  if (!inst.completed && inst.reason != TerminationReason::kNotStarted &&
+      inst.reason != TerminationReason::kReturned) {
+    // Containment messages reach the failure log even though no lane died.
+    run.failures.push_back(StrFormat("instance=0 contained: %s (%s)",
+                                     std::string(ToString(inst.reason)).c_str(),
+                                     inst.detail.c_str()));
+  }
   // Mapping back the Ret value (map(from:Ret[:1])).
   run.transfer_cycles += sim::TransferCycles(env.device->spec(), sizeof(int));
   return run;

@@ -12,18 +12,47 @@
 #include <vector>
 
 #include "dgcf/app.h"
+#include "gpusim/faults.h"
 #include "gpusim/memcheck.h"
 #include "gpusim/stats.h"
 #include "support/status.h"
 
 namespace dgc::dgcf {
 
+/// How one application instance ended. kReturned is the only *completed*
+/// execution — `__user_main` came back with an exit code (possibly
+/// nonzero). Everything else is an abnormal termination the loader
+/// contained to this instance; such instances are candidates for
+/// retry-relaunch, a nonzero kReturned exit is not (the program ran).
+enum class TerminationReason : std::uint8_t {
+  kReturned = 0,   ///< __user_main returned; see exit_code
+  kNotStarted,     ///< never reached the device (e.g. team lost earlier)
+  kException,      ///< uncaught C++ exception in app code
+  kTrapOOM,        ///< unchecked allocation failure (heap or shared memory)
+  kTrapAbort,      ///< abort() / failed assert() in app code
+  kTrapInjected,   ///< FaultPlan trap site
+  kDeadlock,       ///< launch deadlocked while this instance was running
+  kWatchdog,       ///< cycle budget exhausted (launch- or instance-level)
+};
+
+std::string_view ToString(TerminationReason reason);
+
+/// Maps a contained DeviceTrap to the instance-level reason.
+TerminationReason ReasonForTrap(sim::TrapKind kind);
+
 /// Outcome of one application instance.
 struct InstanceResult {
   int exit_code = 0;
-  /// False when the instance's initial thread died with an exception
-  /// instead of returning from __user_main.
+  /// False when the instance did not return from __user_main (trap,
+  /// exception, watchdog, deadlock, or never started).
   bool completed = false;
+  TerminationReason reason = TerminationReason::kNotStarted;
+  /// Human-readable detail for abnormal terminations (the trap message).
+  std::string detail;
+  /// Device cycles this instance spent executing (across retry waves).
+  std::uint64_t cycles = 0;
+  /// Launch waves that ran (or started) this instance; > 1 after a retry.
+  std::uint32_t attempts = 0;
 };
 
 /// Outcome of a loader run (single instance or ensemble).
@@ -31,13 +60,21 @@ struct RunResult {
   std::vector<InstanceResult> instances;
   std::uint64_t kernel_cycles = 0;    ///< device execution incl. launch
   std::uint64_t transfer_cycles = 0;  ///< argv mapping + result map(from:)
+  /// Launch waves executed: 1 normally, more when retry-relaunch ran.
+  std::uint32_t waves = 0;
   sim::LaunchStats stats;
+  /// Lane-failure and containment messages, `instance=I`-prefixed when the
+  /// owning instance is known.
   std::vector<std::string> failures;
   /// Sanitizer findings when the run was launched with a memcheck attached
   /// (clean/empty otherwise).
   sim::MemcheckReport memcheck;
 
   std::uint64_t total_cycles() const { return kernel_cycles + transfer_cycles; }
+  /// True when every instance completed with exit code 0. An empty
+  /// `instances` vector yields false by definition: "no instance ran" is
+  /// not a successful run, so a caller that gates on all_ok() can never
+  /// mistake a run that launched nothing for a clean one.
   bool all_ok() const {
     for (const InstanceResult& r : instances) {
       if (!r.completed || r.exit_code != 0) return false;
@@ -53,6 +90,12 @@ struct SingleRunOptions {
   /// Optional shadow-memory sanitizer; attached to the device memory (and
   /// seeded with pre-existing allocations) before the run builds state.
   sim::Memcheck* memcheck = nullptr;
+  /// Optional deterministic fault-injection plan (gpusim/faults.h). The
+  /// caller wires the same plan into the AppEnv's DeviceLibc/RpcHost if
+  /// heap/RPC faults should fire too.
+  sim::FaultPlan* faults = nullptr;
+  /// Launch watchdog cycle budget; 0 derives the device-spec default.
+  std::uint64_t watchdog_cycles = 0;
 };
 
 /// Runs one instance on one team, as the original framework does.

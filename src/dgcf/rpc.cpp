@@ -12,6 +12,7 @@ namespace dgc::dgcf {
 sim::DeviceTask<int> RpcHost::Print(sim::ThreadCtx& ctx, std::string text) {
   std::function<std::uint64_t()> handler = [this, &text]() -> std::uint64_t {
     ++calls_;
+    if (InjectFailure()) return std::uint64_t(-1);
     stdout_ += text;
     return text.size();
   };
@@ -30,6 +31,7 @@ sim::DeviceTask<std::int64_t> RpcHost::ReadFile(sim::ThreadCtx& ctx,
   std::function<std::uint64_t()> handler = [this, &path, dst, offset,
                                             bytes]() -> std::uint64_t {
     ++calls_;
+    if (InjectFailure()) return std::uint64_t(-1);
     auto it = files_.find(path);
     if (it == files_.end()) return std::uint64_t(-1);
     const auto& data = it->second;
@@ -46,6 +48,7 @@ sim::DeviceTask<std::int64_t> RpcHost::FileSize(sim::ThreadCtx& ctx,
                                                 std::string path) {
   std::function<std::uint64_t()> handler = [this, &path]() -> std::uint64_t {
     ++calls_;
+    if (InjectFailure()) return std::uint64_t(-1);
     auto it = files_.find(path);
     return it == files_.end() ? std::uint64_t(-1) : it->second.size();
   };
@@ -61,6 +64,7 @@ sim::DeviceTask<std::int64_t> RpcHost::WriteFile(
   std::function<std::uint64_t()> handler = [this, &path, src,
                                             bytes]() -> std::uint64_t {
     ++calls_;
+    if (InjectFailure()) return std::uint64_t(-1);
     auto& file = files_[path];
     const std::size_t offset = file.size();
     file.resize(offset + bytes);

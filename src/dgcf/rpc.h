@@ -15,6 +15,7 @@
 
 #include "gpusim/ctx.h"
 #include "gpusim/device.h"
+#include "gpusim/faults.h"
 #include "gpusim/task.h"
 #include "support/status.h"
 
@@ -26,6 +27,12 @@ class RpcHost {
 
   RpcHost(const RpcHost&) = delete;
   RpcHost& operator=(const RpcHost&) = delete;
+
+  /// Installs a deterministic fault plan: each service call first consults
+  /// plan->NextRpcFails(); a failed call still pays the full round-trip
+  /// latency but the handler performs no work and the device sees -1 (the
+  /// errno-style failure return of every service). nullptr turns it off.
+  void set_fault_plan(sim::FaultPlan* plan) { faults_ = plan; }
 
   // --- Device-side services (call from kernels with co_await) --------------
 
@@ -66,16 +73,27 @@ class RpcHost {
   void ClearStdout() { stdout_.clear(); }
 
   std::uint64_t calls_serviced() const { return calls_; }
+  /// Calls failed by the installed fault plan.
+  std::uint64_t calls_failed() const { return failed_calls_; }
 
  private:
   std::uint64_t RoundTrip() const {
     return device_.spec().rpc_roundtrip_cycles;
   }
 
+  /// True when the fault plan fails the call being serviced (counted).
+  bool InjectFailure() {
+    if (faults_ == nullptr || !faults_->NextRpcFails()) return false;
+    ++failed_calls_;
+    return true;
+  }
+
   sim::Device& device_;
+  sim::FaultPlan* faults_ = nullptr;
   std::string stdout_;
   std::map<std::string, std::vector<std::byte>> files_;
   std::uint64_t calls_ = 0;
+  std::uint64_t failed_calls_ = 0;
 };
 
 }  // namespace dgc::dgcf

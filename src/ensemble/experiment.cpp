@@ -47,6 +47,21 @@ Status RunPoint(const ExperimentConfig& config, std::uint32_t n,
   }
   options.thread_limit = config.thread_limit;
   options.teams_per_block = config.teams_per_block;
+  options.watchdog_cycles = config.watchdog_cycles;
+  options.instance_watchdog_cycles = config.instance_watchdog_cycles;
+  options.max_attempts = config.max_attempts;
+  options.retry_shrink = config.retry_shrink;
+
+  // Each point parses its own plan: consumption counters must start fresh
+  // for every (benchmark × count) so the sweep is byte-identical for any
+  // --jobs value.
+  sim::FaultPlan plan;
+  if (!config.inject_spec.empty()) {
+    DGC_ASSIGN_OR_RETURN(plan, sim::FaultPlan::Parse(config.inject_spec));
+    options.faults = &plan;
+    libc.set_fault_plan(&plan);
+    rpc.set_fault_plan(&plan);
+  }
 
   auto run = RunEnsemble(env, options);
   if (!run.ok()) {
@@ -67,11 +82,13 @@ Status RunPoint(const ExperimentConfig& config, std::uint32_t n,
     return Status::Ok();
   }
   if (!run->all_ok()) {
-    std::string detail =
-        run->failures.empty() ? "nonzero exit code" : run->failures[0];
-    return Status(ErrorCode::kInternal,
-                  StrFormat("%s with %u instances failed: %s",
-                            config.app.c_str(), n, detail.c_str()));
+    // A faulting point is an absence in the figure, not a sweep abort:
+    // sibling points (and the other series) still measure. The first
+    // failure message says why this one is missing.
+    point.note = StrFormat(
+        "failed: %s",
+        run->failures.empty() ? "nonzero exit code" : run->failures[0].c_str());
+    return Status::Ok();
   }
 
   point.ran = true;

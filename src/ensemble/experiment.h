@@ -31,6 +31,16 @@ struct ExperimentConfig {
   std::uint32_t thread_limit = 32;
   std::uint32_t teams_per_block = 1;  ///< §3.1 mapping (1 = paper)
   sim::DeviceSpec spec;               ///< fresh device per measurement
+  /// Deterministic fault-injection spec (gpusim/faults.h grammar), parsed
+  /// into a FRESH FaultPlan for every sweep point: plans carry consumption
+  /// counters, so sharing one across concurrently-running points would make
+  /// the sweep depend on --jobs. "" = no injection.
+  std::string inject_spec;
+  /// Fault-tolerance knobs forwarded to EnsembleOptions (same semantics).
+  std::uint64_t watchdog_cycles = 0;           ///< 0 = device default
+  std::uint64_t instance_watchdog_cycles = 0;  ///< 0 = off
+  std::uint32_t max_attempts = 1;
+  std::uint32_t retry_shrink = 2;
 };
 
 /// Progress of one sweep point, reported as it starts and finishes so long
@@ -79,9 +89,12 @@ struct SpeedupSeries {
 
 /// Runs one sweep. The first count must be 1 (it defines T1). A
 /// configuration whose instances cannot all allocate (device OOM) is
-/// recorded as ran=false — the paper's Page-Rank case. If the 1-instance
-/// baseline itself cannot run, the whole series is marked not-ran (T1 is
-/// undefined, so no point may report a speedup).
+/// recorded as ran=false — the paper's Page-Rank case. A point with any
+/// failed instance (trap, watchdog, nonzero exit) is likewise recorded as
+/// ran=false with the first failure in its note: a faulting point skips
+/// that point, never the sweep. If the 1-instance baseline itself cannot
+/// run, the whole series is marked not-ran (T1 is undefined, so no point
+/// may report a speedup).
 StatusOr<SpeedupSeries> MeasureSpeedup(const ExperimentConfig& config,
                                        const SweepOptions& options = {});
 

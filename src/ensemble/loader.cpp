@@ -1,9 +1,12 @@
 #include "ensemble/loader.h"
 
 #include <fstream>
+#include <numeric>
 #include <sstream>
 
 #include "dgcf/argv.h"
+#include "dgcf/libc.h"
+#include "dgcf/rpc.h"
 #include "ensemble/argfile.h"
 #include "ensemble/argscript.h"
 #include "gpusim/device.h"
@@ -12,6 +15,21 @@
 #include "support/str.h"
 
 namespace dgc::ensemble {
+
+namespace {
+
+/// True when the team is back in its pristine state after a contained trap:
+/// every worker alive and parked at the team barrier, no parallel region in
+/// flight. Only then can the team safely pick up another instance — a trap
+/// that killed workers or unwound rank 0 out of a parallel region leaves
+/// the worker state machine desynchronized.
+bool TeamIntact(const ompx::TeamCtx& team) {
+  if (team.team_size == 1) return true;
+  return team.barrier->expected() == team.team_size &&
+         team.state->phase == ompx::TeamState::Phase::kIdle;
+}
+
+}  // namespace
 
 StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
                                       const EnsembleOptions& options) {
@@ -31,6 +49,10 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
   if (options.teams_per_block == 0) {
     return Status(ErrorCode::kInvalidArgument,
                   "EnsembleOptions::teams_per_block must be positive");
+  }
+  if (options.max_attempts == 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "EnsembleOptions::max_attempts must be positive");
   }
 
   const std::uint32_t available = std::uint32_t(options.instance_args.size());
@@ -56,7 +78,8 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
   }
 
   // Build the device-side argument block (Fig. 4's StringCache/Argc/Argv),
-  // prepending argv[0] = app name to every line.
+  // prepending argv[0] = app name to every line. Built once; retry waves
+  // reuse it.
   std::vector<std::vector<std::string>> rows;
   rows.reserve(ni);
   for (std::uint32_t i = 0; i < ni; ++i) {
@@ -74,37 +97,150 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
   run.instances.resize(ni);
   run.transfer_cycles = argv.transfer_cycles();
 
-  ompx::TeamsConfig cfg;
-  cfg.num_teams = teams;
-  cfg.thread_limit = options.thread_limit;
-  cfg.teams_per_block = options.teams_per_block;
-  cfg.name = "ensemble";
-  cfg.trace = options.trace;
-  cfg.memcheck = options.memcheck;
+  const std::uint64_t launch_watchdog =
+      options.watchdog_cycles != 0 ? options.watchdog_cycles
+                                   : env.device->spec().DefaultWatchdogCycles();
+  const std::uint32_t shrink =
+      options.retry_shrink >= 2 ? options.retry_shrink : 1;
 
-  // The Fig. 4 kernel:  #pragma omp target teams distribute
-  //                     for (I = 0; I < NI; ++I)
-  //                       Ret[I] = __user_main(Argc[I], &Argv[I][0]);
-  // distribute → team t executes iterations t, t+N, t+2N, ...
-  auto result = ompx::LaunchTeams(
-      *env.device, cfg, [&](ompx::TeamCtx& team) -> sim::DeviceTask<void> {
-        for (std::uint32_t i = team.team_id; i < ni; i += teams) {
-          if (options.memcheck != nullptr) {
-            // Feed the §3.3 cross-instance checker: from here until the next
-            // update, accesses by this team belong to instance i.
-            options.memcheck->SetTeamInstance(team.team_id, std::int32_t(i));
+  // Wave 0 runs every instance; retry waves run only the instances that did
+  // not complete execution (a returned nonzero exit *is* a completed
+  // execution and is never retried).
+  std::vector<std::uint32_t> pending(ni);
+  std::iota(pending.begin(), pending.end(), 0u);
+  std::uint32_t team_cap = teams;
+
+  for (std::uint32_t wave = 0; wave < options.max_attempts && !pending.empty();
+       ++wave) {
+    if (wave > 0) team_cap = std::max(1u, team_cap / shrink);
+    const std::uint32_t wave_teams =
+        std::min<std::uint32_t>(team_cap, std::uint32_t(pending.size()));
+
+    // Which instance each wave-local team is currently executing; feeds the
+    // instance_of hook so lane failures are attributed `instance=I`.
+    std::vector<std::int32_t> current(wave_teams, -1);
+    std::vector<char> started(ni, 0);
+
+    ompx::TeamsConfig cfg;
+    cfg.num_teams = wave_teams;
+    cfg.thread_limit = options.thread_limit;
+    cfg.teams_per_block = options.teams_per_block;
+    cfg.name = wave == 0 ? "ensemble" : "ensemble-retry";
+    cfg.trace = options.trace;
+    cfg.memcheck = options.memcheck;
+    cfg.faults = options.faults;
+    cfg.watchdog_cycles = launch_watchdog;
+    const std::uint32_t m = options.teams_per_block;
+    const std::uint32_t team_size = options.thread_limit;
+    cfg.instance_of = [&current, wave_teams, m,
+                       team_size](std::uint32_t block_id,
+                                  std::uint32_t thread_id) -> std::int32_t {
+      const std::uint32_t team = block_id * m + thread_id / team_size;
+      return team < wave_teams ? current[team] : -1;
+    };
+
+    // The Fig. 4 kernel:  #pragma omp target teams distribute
+    //                     for (I = 0; I < NI; ++I)
+    //                       Ret[I] = __user_main(Argc[I], &Argv[I][0]);
+    // distribute → team t executes iterations t, t+N, t+2N, ... of the
+    // pending list. Each instance runs under try/catch: a trap is contained
+    // to the instance, and the team moves on to its next instance as long
+    // as the trap left it intact.
+    auto result = ompx::LaunchTeams(
+        *env.device, cfg, [&](ompx::TeamCtx& team) -> sim::DeviceTask<void> {
+          for (std::uint32_t idx = team.team_id; idx < pending.size();
+               idx += wave_teams) {
+            const std::uint32_t i = pending[idx];
+            dgcf::InstanceResult& inst = run.instances[i];
+            current[team.team_id] = std::int32_t(i);
+            if (options.memcheck != nullptr) {
+              // Feed the §3.3 cross-instance checker: from here until the
+              // next update, accesses by this team belong to instance i.
+              options.memcheck->SetTeamInstance(team.team_id,
+                                                std::int32_t(i));
+            }
+            started[i] = 1;
+            ++inst.attempts;
+            inst.reason = dgcf::TerminationReason::kNotStarted;
+            inst.detail.clear();
+            const std::uint64_t t0 = team.hw->Now();
+            if (options.instance_watchdog_cycles != 0) {
+              team.hw->ArmRowWatchdog(options.instance_watchdog_cycles);
+            }
+            bool contained = false;
+            try {
+              inst.exit_code = co_await app->user_main(
+                  env, team, argv.argc(i), argv.argv(i));
+              inst.completed = true;
+              inst.reason = dgcf::TerminationReason::kReturned;
+            } catch (const sim::DeviceTrap& trap) {
+              inst.reason = dgcf::ReasonForTrap(trap.kind());
+              inst.detail = trap.what();
+              contained = true;
+            } catch (const std::exception& e) {
+              inst.reason = dgcf::TerminationReason::kException;
+              inst.detail = e.what();
+              contained = true;
+            }
+            if (options.instance_watchdog_cycles != 0) {
+              team.hw->ArmRowWatchdog(0);  // disarm for the next instance
+            }
+            inst.cycles += team.hw->Now() - t0;
+            current[team.team_id] = -1;
+            if (contained && !TeamIntact(team)) {
+              // The trap degraded the team (dead workers or a parallel
+              // region left in flight): running another instance on it
+              // would corrupt the worker state machine. Remaining
+              // iterations stay kNotStarted and fall to the retry waves.
+              co_return;
+            }
           }
-          run.instances[i].exit_code =
-              co_await app->user_main(env, team, argv.argc(i), argv.argv(i));
-          run.instances[i].completed = true;
-        }
-      });
-  DGC_RETURN_IF_ERROR(result.status());
+        });
+    DGC_RETURN_IF_ERROR(result.status());
 
-  run.kernel_cycles = result->cycles;
-  run.stats = result->stats;
-  run.failures = std::move(result->failures);
-  run.memcheck = std::move(result->memcheck);
+    run.waves = wave + 1;
+    run.kernel_cycles += result->cycles;
+    run.stats.Accumulate(result->stats);
+    for (std::string& f : result->failures) run.failures.push_back(std::move(f));
+    // The sanitizer report is cumulative since Attach; the latest wave's
+    // snapshot covers all waves so far.
+    run.memcheck = std::move(result->memcheck);
+
+    // Post-wave attribution and containment log.
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t i : pending) {
+      dgcf::InstanceResult& inst = run.instances[i];
+      if (inst.completed) continue;
+      if (started[i] &&
+          inst.reason == dgcf::TerminationReason::kNotStarted) {
+        // Started but never terminated: its lanes were still parked when
+        // the launch drained (deadlock) or the launch ended around it.
+        inst.reason = dgcf::TerminationReason::kDeadlock;
+        inst.detail = StrFormat("launch %s while the instance was running",
+                                result->outcome == sim::LaunchOutcome::kDeadlocked
+                                    ? "deadlocked"
+                                    : "ended");
+      }
+      if (started[i] &&
+          inst.reason != dgcf::TerminationReason::kNotStarted) {
+        run.failures.push_back(StrFormat(
+            "instance=%u contained: %s (%s)", i,
+            std::string(dgcf::ToString(inst.reason)).c_str(),
+            inst.detail.c_str()));
+        // Contained traps never reach the launch's lane-death counters, so
+        // fold them in here: the run's stats report every trap that fired,
+        // whether the loader caught it or a lane died of it.
+        if (inst.reason == dgcf::TerminationReason::kWatchdog) {
+          ++run.stats.watchdog_traps;
+        } else if (inst.reason != dgcf::TerminationReason::kException) {
+          ++run.stats.lane_traps;
+        }
+      }
+      next.push_back(i);
+    }
+    pending = std::move(next);
+  }
+
   // map(from:Ret[:NI])
   run.transfer_cycles +=
       sim::TransferCycles(env.device->spec(), std::uint64_t(ni) * sizeof(int));
@@ -120,6 +256,9 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
   std::int64_t instances = 0, threads = 1024, teams = 0, per_block = 1;
   std::int64_t seed = 0;
   bool script = false;
+  std::string inject;
+  std::int64_t watchdog = 0, instance_watchdog = 0;
+  std::int64_t retry = 1, retry_shrink = 2;
   ArgParser parser("GPU ensemble loader (paper Fig. 5c)");
   parser.AddString("file", 'f', "command line arguments file", &file,
                    /*required=*/true)
@@ -130,11 +269,26 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
       .AddInt("teams-per-block", 'm', "instances per thread block (§3.1)",
               &per_block)
       .AddFlag("script", 0, "treat the file as an argument script", &script)
-      .AddInt("seed", 0, "argument-script random seed", &seed);
+      .AddInt("seed", 0, "argument-script random seed", &seed)
+      .AddString("inject", 0, "deterministic fault-injection spec", &inject)
+      .AddInt("watchdog", 0, "launch cycle budget (0 = device default)",
+              &watchdog)
+      .AddInt("instance-watchdog", 0,
+              "per-instance cycle budget (0 = off)", &instance_watchdog)
+      .AddInt("retry", 0, "max launch attempts per failed instance",
+              &retry)
+      .AddInt("retry-shrink", 0, "team-cap divisor per retry wave",
+              &retry_shrink);
   DGC_RETURN_IF_ERROR(parser.Parse(argv));
   if (instances < 0 || threads <= 0 || teams < 0 || per_block <= 0) {
     return Status(ErrorCode::kInvalidArgument,
                   "counts must be positive (instances/teams may be omitted)");
+  }
+  if (watchdog < 0 || instance_watchdog < 0 || retry <= 0 ||
+      retry_shrink < 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "--watchdog/--instance-watchdog must be >= 0 and "
+                  "--retry must be positive");
   }
 
   EnsembleOptions options;
@@ -145,6 +299,10 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
   options.teams_per_block = std::uint32_t(per_block);
   options.trace = trace;
   options.memcheck = memcheck;
+  options.watchdog_cycles = std::uint64_t(watchdog);
+  options.instance_watchdog_cycles = std::uint64_t(instance_watchdog);
+  options.max_attempts = std::uint32_t(retry);
+  options.retry_shrink = std::uint32_t(retry_shrink);
   if (script) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -157,7 +315,23 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
   } else {
     DGC_ASSIGN_OR_RETURN(options.instance_args, LoadArgumentFile(file));
   }
-  return RunEnsemble(env, options);
+
+  // A fresh plan per run keeps count-based faults deterministic; it is
+  // wired into the heap and the RPC ring for the duration of the run and
+  // detached before the plan goes out of scope.
+  sim::FaultPlan plan;
+  if (!inject.empty()) {
+    DGC_ASSIGN_OR_RETURN(plan, sim::FaultPlan::Parse(inject));
+    options.faults = &plan;
+    if (env.libc != nullptr) env.libc->set_fault_plan(&plan);
+    if (env.rpc != nullptr) env.rpc->set_fault_plan(&plan);
+  }
+  auto run = RunEnsemble(env, options);
+  if (!inject.empty()) {
+    if (env.libc != nullptr) env.libc->set_fault_plan(nullptr);
+    if (env.rpc != nullptr) env.rpc->set_fault_plan(nullptr);
+  }
+  return run;
 }
 
 }  // namespace dgc::ensemble

@@ -44,16 +44,47 @@ struct EnsembleOptions {
   /// currently executing (feeding the §3.3 cross-instance checker), and
   /// returns its findings in RunResult::memcheck.
   sim::Memcheck* memcheck = nullptr;
+  /// Optional deterministic fault-injection plan (gpusim/faults.h). The
+  /// loader forwards it to every launch wave; the same plan object persists
+  /// across retries, so count-based faults fire exactly once and a retry
+  /// can recover the instance they hit. The caller wires the plan into the
+  /// AppEnv's DeviceLibc/RpcHost for heap/RPC faults (RunEnsembleCli does).
+  sim::FaultPlan* faults = nullptr;
+  /// Launch watchdog: cycle budget for each kernel launch, after which
+  /// every still-running lane traps (kWatchdog) and the launch drains.
+  /// 0 derives DeviceSpec::DefaultWatchdogCycles().
+  std::uint64_t watchdog_cycles = 0;
+  /// Per-instance watchdog: cycles one instance may run before its team's
+  /// lanes trap. 0 (default) disables; the launch budget still applies.
+  std::uint64_t instance_watchdog_cycles = 0;
+  /// Total launch waves an abnormally-terminated instance may consume
+  /// (first run + retries). 1 = no retry. Instances that *returned* with a
+  /// nonzero exit code completed execution and are never retried.
+  std::uint32_t max_attempts = 1;
+  /// When >= 2, each retry wave divides the team cap by this factor
+  /// (min 1 team): relaunching failed instances on a smaller wave relieves
+  /// the memory/contention pressure that commonly caused the failure.
+  /// 0 or 1 = retries reuse the original team count.
+  std::uint32_t retry_shrink = 2;
 };
 
 /// Runs the ensemble. Instance I's exit code lands in result.instances[I].
+///
+/// Failure semantics: an instance that traps (OOM, abort, injected fault,
+/// watchdog) or throws is *contained* — its InstanceResult records the
+/// TerminationReason and detail while sibling instances run to completion.
+/// With max_attempts > 1, instances that did not complete execution are
+/// relaunched in follow-up waves (see EnsembleOptions::retry_shrink).
 StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
                                       const EnsembleOptions& options);
 
 /// Fig. 5c front end: parses `-f <file> -n <instances> -t <threads>`
-/// (plus -m/--teams/--script) for `app`, loading the argument file through
-/// the host filesystem, then calls RunEnsemble. With --script, the -f file
-/// is treated as an argument script and expanded first.
+/// (plus -m/--teams/--script and the fault-tolerance flags
+/// --inject/--watchdog/--instance-watchdog/--retry/--retry-shrink) for
+/// `app`, loading the argument file through the host filesystem, then calls
+/// RunEnsemble. --inject parses a FaultPlan spec (gpusim/faults.h) and
+/// wires it into the launch, the device libc, and the RPC host for the
+/// duration of the run.
 StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
                                          const std::string& app,
                                          const std::vector<std::string>& argv,

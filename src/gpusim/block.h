@@ -33,14 +33,17 @@ class Block {
   void OnLaneDone(Lane* lane, std::uint64_t now);
 
   /// Bump-allocates `count` elements of shared memory (team-local).
-  /// Aborts when the block's shared reservation is exhausted — that is a
-  /// kernel bug, mirroring a launch failure on real hardware.
+  /// Exhausting the block's shared reservation throws a DeviceTrap(kOOM):
+  /// from device code it retires the faulting lane (and is containable per
+  /// instance by the ensemble loader) instead of aborting the process.
   template <typename T>
   DevicePtr<T> SharedAlloc(std::uint64_t count) {
     const std::uint64_t bytes = count * sizeof(T);
     const std::uint64_t offset = (shared_used_ + alignof(T) - 1) & ~std::uint64_t(alignof(T) - 1);
-    DGC_CHECK_MSG(offset + bytes <= shared_.size(),
-                  "shared memory reservation exhausted");
+    if (offset + bytes > shared_.size()) {
+      throw DeviceTrap(TrapKind::kOOM,
+                       "shared memory reservation exhausted");
+    }
     shared_used_ = offset + bytes;
     return DevicePtr<T>{shared_base_ + offset,
                         reinterpret_cast<T*>(shared_.data() + offset)};
@@ -48,14 +51,22 @@ class Block {
 
   /// Views the block's shared window at a fixed byte offset without
   /// allocating — the idiom for kernels where every lane addresses the same
-  /// statically-placed shared variable (like CUDA `__shared__`).
+  /// statically-placed shared variable (like CUDA `__shared__`). Throws a
+  /// DeviceTrap(kOOM) when the window is exceeded, like SharedAlloc.
   template <typename T>
   DevicePtr<T> SharedAt(std::uint64_t byte_offset) {
-    DGC_CHECK_MSG(byte_offset + sizeof(T) <= shared_.size(),
-                  "shared memory window exceeded");
+    if (byte_offset + sizeof(T) > shared_.size()) {
+      throw DeviceTrap(TrapKind::kOOM, "shared memory window exceeded");
+    }
     return DevicePtr<T>{shared_base_ + byte_offset,
                         reinterpret_cast<T*>(shared_.data() + byte_offset)};
   }
+
+  /// Arms (deadline > 0) or disarms (0) the per-lane watchdog of every lane
+  /// in block row `row` (tid3.y). Rows are the §3.1 sub-team unit, so this
+  /// is how a loader bounds one instance's cycles without touching its
+  /// block-mates.
+  void SetRowWatchdog(std::uint32_t row, std::uint64_t deadline);
 
   Barrier* barrier() { return &barrier_; }
   SM* sm() const { return sm_; }

@@ -28,6 +28,13 @@ class Block;
 
 namespace detail {
 
+/// Raises the current lane's pending trap (if armed) as a DeviceTrap.
+/// Called by every awaiter at its resume point, i.e. *inside* the resumed
+/// coroutine, so the trap unwinds through the normal exception-transparent
+/// task machinery and can be contained per instance by a loader's
+/// try/catch. Clears the trap: it fires exactly once.
+void RaisePendingTrap();
+
 /// Base for suspending awaiters: parks the op on the current lane and
 /// points the lane's resume cursor at the suspended coroutine.
 struct OpAwaiterBase {
@@ -50,7 +57,10 @@ struct LoadAwaiter : OpAwaiterBase {
     op.addr = p.addr;
     op.host = p.host;
   }
-  T await_resume() const { return FromBits<T>(lane->pending_result); }
+  T await_resume() const {
+    RaisePendingTrap();
+    return FromBits<T>(lane->pending_result);
+  }
 };
 
 template <typename T>
@@ -62,7 +72,7 @@ struct StoreAwaiter : OpAwaiterBase {
     op.host = p.host;
     op.bits = ToBits(value);
   }
-  void await_resume() const noexcept {}
+  void await_resume() const { RaisePendingTrap(); }
 };
 
 template <typename T>
@@ -77,7 +87,10 @@ struct AtomicAwaiter : OpAwaiterBase {
     op.apply = apply;
   }
   /// Returns the value observed *before* the update, like CUDA atomics.
-  T await_resume() const { return FromBits<T>(lane->pending_result); }
+  T await_resume() const {
+    RaisePendingTrap();
+    return FromBits<T>(lane->pending_result);
+  }
 };
 
 struct WorkAwaiter : OpAwaiterBase {
@@ -85,7 +98,7 @@ struct WorkAwaiter : OpAwaiterBase {
     op.kind = DeviceOp::Kind::kWork;
     op.cycles = cycles;
   }
-  void await_resume() const noexcept {}
+  void await_resume() const { RaisePendingTrap(); }
 };
 
 struct SyncAwaiter : OpAwaiterBase {
@@ -93,7 +106,7 @@ struct SyncAwaiter : OpAwaiterBase {
     op.kind = DeviceOp::Kind::kSync;
     op.barrier = barrier;
   }
-  void await_resume() const noexcept {}
+  void await_resume() const { RaisePendingTrap(); }
 };
 
 /// Pipelined batch load: up to kMaxGather *independent* loads issued as one
@@ -132,7 +145,7 @@ struct GatherAwaiter {
     lane->pending.batch_count = count;
     lane->top = h;
   }
-  void await_resume() const noexcept {}
+  void await_resume() const { RaisePendingTrap(); }
 
   /// The i-th loaded value, valid after the co_await completes.
   T Result(std::uint32_t i) const { return FromBits<T>(slots[i].result); }
@@ -162,7 +175,7 @@ struct ScatterAwaiter {
     lane->pending.batch_count = count;
     lane->top = h;
   }
-  void await_resume() const noexcept {}
+  void await_resume() const { RaisePendingTrap(); }
 };
 
 struct ExternalAwaiter {
@@ -179,7 +192,10 @@ struct ExternalAwaiter {
     lane->pending.external = fn;
     lane->top = h;
   }
-  std::uint64_t await_resume() const { return lane->pending_result; }
+  std::uint64_t await_resume() const {
+    RaisePendingTrap();
+    return lane->pending_result;
+  }
 };
 
 // Every awaiter must be trivially destructible: temporaries inside a
@@ -307,6 +323,17 @@ struct ThreadCtx {
   /// Block-wide barrier (__syncthreads). Implemented in ctx.cpp — it needs
   /// the Block definition.
   detail::SyncAwaiter SyncThreads() const;
+
+  /// Current device time in cycles (the launch's event-engine clock).
+  /// Untimed — a convenience for runtimes that account per-instance cycles.
+  std::uint64_t Now() const;
+
+  /// Arms (cycles > 0) or disarms (cycles == 0) a watchdog over every lane
+  /// of this lane's team row (tid3.y): each lane traps with kWatchdog at
+  /// its first resume at or after now + cycles. The ensemble loader re-arms
+  /// this per instance so a hung instance is killed without bounding its
+  /// well-behaved siblings.
+  void ArmRowWatchdog(std::uint64_t cycles) const;
 
   /// Barrier over an explicit lane set (sub-team synchronization).
   detail::SyncAwaiter SyncOn(Barrier* barrier) const {

@@ -68,6 +68,7 @@ StatusOr<LaunchResult> Device::Launch(const LaunchConfig& config,
   if (config.memcheck != nullptr) config.memcheck->OnLaunchEnd(lc.stats);
 
   LaunchResult result;
+  result.outcome = lc.outcome;
   result.stats = lc.stats;
   result.cycles = lc.stats.elapsed_cycles + spec_.kernel_launch_overhead;
   result.failures = std::move(lc.failures);

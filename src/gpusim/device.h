@@ -24,14 +24,22 @@ struct LaunchResult {
   /// Kernel duration in device cycles, including launch overhead.
   std::uint64_t cycles = 0;
   LaunchStats stats;
-  /// Messages from lanes that terminated with an exception (up to 16).
+  /// How the launch ended. kDeadlocked means the event queue drained with
+  /// blocks still resident — the kernel retired abnormally but the process
+  /// (and sweep siblings) carry on; loaders map it to per-instance
+  /// TerminationReason::kDeadlock.
+  LaunchOutcome outcome = LaunchOutcome::kCompleted;
+  /// Messages from lanes that terminated with an exception (up to 16),
+  /// `instance=I`-prefixed when the config provides instance attribution.
   std::vector<std::string> failures;
   std::uint64_t failure_count = 0;
   /// Snapshot of the sanitizer report after the launch's leak check;
   /// empty/clean when the launch ran without a memcheck.
   MemcheckReport memcheck;
 
-  bool ok() const { return failure_count == 0; }
+  bool ok() const {
+    return failure_count == 0 && outcome == LaunchOutcome::kCompleted;
+  }
 };
 
 class Device {

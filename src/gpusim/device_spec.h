@@ -83,6 +83,14 @@ struct DeviceSpec {
     return double(cycles) / (clock_ghz * 1e9);
   }
 
+  /// Default launch watchdog budget: 10 simulated seconds at the SM clock.
+  /// Generous enough that any workload the simulator can practically
+  /// execute finishes well inside it, while an instance spinning forever is
+  /// retired deterministically instead of hanging the sweep.
+  std::uint64_t DefaultWatchdogCycles() const {
+    return std::uint64_t(clock_ghz * 1e9) * 10;
+  }
+
   /// Sanity-checks internal consistency (positive sizes, powers of two
   /// where required). Returns a human-readable problem list ("" if OK).
   std::string Validate() const;

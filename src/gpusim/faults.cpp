@@ -1,0 +1,208 @@
+#include "gpusim/faults.h"
+
+#include "support/rng.h"
+#include "support/str.h"
+
+namespace dgc::sim {
+
+std::string_view ToString(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kNone: return "none";
+    case TrapKind::kOOM: return "oom";
+    case TrapKind::kAbort: return "abort";
+    case TrapKind::kWatchdog: return "watchdog";
+    case TrapKind::kInjected: return "injected";
+  }
+  return "unknown";
+}
+
+std::string_view ToString(LaunchOutcome outcome) {
+  switch (outcome) {
+    case LaunchOutcome::kCompleted: return "completed";
+    case LaunchOutcome::kDeadlocked: return "deadlocked";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Deterministic per-ordinal coin flip: hashing (seed, stream, ordinal)
+/// keeps the decision independent of evaluation order, so the same plan
+/// fails the same calls no matter how clauses interleave.
+bool SeededFlip(std::uint64_t seed, std::uint64_t stream, std::uint64_t ordinal,
+                double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  SplitMix64 mix(seed ^ (stream * 0x9e3779b97f4a7c15ULL) ^ ordinal);
+  return double(mix.Next() >> 11) * 0x1.0p-53 < p;
+}
+
+bool Contains(const std::vector<std::uint64_t>& v, std::uint64_t x) {
+  for (std::uint64_t e : v) {
+    if (e == x) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FaultPlan::NextMallocFails() {
+  const std::uint64_t n = ++malloc_calls;
+  return Contains(malloc_fail, n) || SeededFlip(seed, 1, n, malloc_fail_p);
+}
+
+bool FaultPlan::NextRpcFails() {
+  const std::uint64_t n = ++rpc_calls;
+  return Contains(rpc_fail, n) || SeededFlip(seed, 2, n, rpc_fail_p);
+}
+
+FaultPlan::TrapSite* FaultPlan::MatchTrap(std::uint32_t block,
+                                          std::uint32_t warp,
+                                          std::uint64_t now) {
+  for (TrapSite& site : traps) {
+    if (site.fired || site.block != block || site.warp != warp) continue;
+    if (now < site.cycle) continue;
+    site.fired = true;
+    return &site;
+  }
+  return nullptr;
+}
+
+std::uint64_t FaultPlan::WorkScale(std::uint32_t block) const {
+  for (const Slowdown& s : slowdowns) {
+    if (s.block == block) return s.factor == 0 ? 1 : s.factor;
+  }
+  return 1;
+}
+
+namespace {
+
+Status BadClause(std::string_view clause, const char* why) {
+  return Status(ErrorCode::kInvalidArgument,
+                StrFormat("bad fault clause '%.*s': %s", int(clause.size()),
+                          clause.data(), why));
+}
+
+/// Parses "<letter><int>" (e.g. "b3"); whole field must match.
+StatusOr<std::uint64_t> ParsePrefixed(std::string_view field, char prefix,
+                                      std::string_view clause) {
+  if (field.size() < 2 || field[0] != prefix) {
+    return BadClause(clause, "expected <letter><number> fields");
+  }
+  auto v = ParseInt(field.substr(1));
+  if (!v.ok() || *v < 0) {
+    return BadClause(clause, "expected a non-negative number");
+  }
+  return std::uint64_t(*v);
+}
+
+/// Parses the value of malloc-fail/rpc-fail: "p<pct>" or "n[,n...]".
+Status ParseFailList(std::string_view value, std::string_view clause,
+                     std::vector<std::uint64_t>* ordinals, double* probability) {
+  if (!value.empty() && value[0] == 'p') {
+    auto pct = ParseDouble(value.substr(1));
+    if (!pct.ok() || *pct < 0.0 || *pct > 100.0) {
+      return BadClause(clause, "probability must be p<0..100>");
+    }
+    *probability = *pct / 100.0;
+    return Status::Ok();
+  }
+  for (std::string_view part : SplitChar(value, ',')) {
+    auto n = ParseInt(part);
+    if (!n.ok() || *n < 1) {
+      return BadClause(clause, "ordinals are 1-based positive integers");
+    }
+    ordinals->push_back(std::uint64_t(*n));
+  }
+  if (ordinals->empty()) return BadClause(clause, "empty ordinal list");
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<FaultPlan> FaultPlan::Parse(std::string_view spec) {
+  FaultPlan plan;
+  for (std::string_view raw : SplitChar(spec, ';')) {
+    const std::string_view clause = TrimWhitespace(raw);
+    if (clause.empty()) continue;
+    const std::size_t at = clause.find('@');
+    if (at == std::string_view::npos) {
+      return BadClause(clause, "expected <kind>@<value>");
+    }
+    const std::string_view kind = clause.substr(0, at);
+    const std::string_view value = clause.substr(at + 1);
+    if (kind == "seed") {
+      auto v = ParseInt(value);
+      if (!v.ok() || *v < 0) return BadClause(clause, "bad seed");
+      plan.seed = std::uint64_t(*v);
+    } else if (kind == "malloc-fail") {
+      DGC_RETURN_IF_ERROR(ParseFailList(value, clause, &plan.malloc_fail,
+                                        &plan.malloc_fail_p));
+    } else if (kind == "rpc-fail") {
+      DGC_RETURN_IF_ERROR(
+          ParseFailList(value, clause, &plan.rpc_fail, &plan.rpc_fail_p));
+    } else if (kind == "trap") {
+      const auto fields = SplitChar(value, '.');
+      if (fields.size() != 3) {
+        return BadClause(clause, "expected trap@b<B>.w<W>.c<C>");
+      }
+      TrapSite site;
+      DGC_ASSIGN_OR_RETURN(std::uint64_t b,
+                           ParsePrefixed(fields[0], 'b', clause));
+      DGC_ASSIGN_OR_RETURN(std::uint64_t w,
+                           ParsePrefixed(fields[1], 'w', clause));
+      DGC_ASSIGN_OR_RETURN(site.cycle, ParsePrefixed(fields[2], 'c', clause));
+      site.block = std::uint32_t(b);
+      site.warp = std::uint32_t(w);
+      plan.traps.push_back(site);
+    } else if (kind == "slow") {
+      const auto fields = SplitChar(value, '.');
+      if (fields.size() != 2) {
+        return BadClause(clause, "expected slow@b<B>.x<F>");
+      }
+      Slowdown slow;
+      DGC_ASSIGN_OR_RETURN(std::uint64_t b,
+                           ParsePrefixed(fields[0], 'b', clause));
+      DGC_ASSIGN_OR_RETURN(slow.factor, ParsePrefixed(fields[1], 'x', clause));
+      if (slow.factor == 0) return BadClause(clause, "factor must be >= 1");
+      slow.block = std::uint32_t(b);
+      plan.slowdowns.push_back(slow);
+    } else {
+      return BadClause(clause,
+                       "unknown kind (seed, malloc-fail, rpc-fail, trap, slow)");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::vector<std::string> clauses;
+  if (seed != 1) clauses.push_back(StrFormat("seed@%llu",
+                                             (unsigned long long)seed));
+  auto list_clause = [&](const char* name,
+                         const std::vector<std::uint64_t>& ordinals,
+                         double p) {
+    if (!ordinals.empty()) {
+      std::string body;
+      for (std::size_t i = 0; i < ordinals.size(); ++i) {
+        body += StrFormat(i == 0 ? "%llu" : ",%llu",
+                          (unsigned long long)ordinals[i]);
+      }
+      clauses.push_back(std::string(name) + "@" + body);
+    }
+    if (p > 0.0) clauses.push_back(StrFormat("%s@p%g", name, p * 100.0));
+  };
+  list_clause("malloc-fail", malloc_fail, malloc_fail_p);
+  list_clause("rpc-fail", rpc_fail, rpc_fail_p);
+  for (const TrapSite& t : traps) {
+    clauses.push_back(StrFormat("trap@b%u.w%u.c%llu", t.block, t.warp,
+                                (unsigned long long)t.cycle));
+  }
+  for (const Slowdown& s : slowdowns) {
+    clauses.push_back(StrFormat("slow@b%u.x%llu", s.block,
+                                (unsigned long long)s.factor));
+  }
+  return Join(clauses, ";");
+}
+
+}  // namespace dgc::sim

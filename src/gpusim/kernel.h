@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "gpusim/address.h"
+#include "gpusim/faults.h"
 #include "gpusim/task.h"
 
 namespace dgc::sim {
@@ -12,6 +13,12 @@ namespace dgc::sim {
 class Memcheck;
 class Trace;
 struct ThreadCtx;
+
+/// Maps a failing lane to the application instance currently running on it
+/// (>= 0), or -1 when unattributable. Installed by the ensemble loader so
+/// failure messages carry an `instance=I` prefix.
+using InstanceOfFn =
+    std::function<std::int32_t(std::uint32_t block_id, std::uint32_t thread_id)>;
 
 /// A kernel is a coroutine entry point invoked once per lane. The same
 /// callable serves every lane; identity comes from the ThreadCtx.
@@ -28,6 +35,16 @@ struct LaunchConfig {
   /// Optional shadow-memory sanitizer (see gpusim/memcheck.h); null = off.
   /// Must already be Attach()ed to the device's memory.
   Memcheck* memcheck = nullptr;
+  /// Optional deterministic fault-injection plan (see gpusim/faults.h);
+  /// null = off. Non-owning; consumption counters advance during the run.
+  FaultPlan* faults = nullptr;
+  /// Launch watchdog: lanes still running at this cycle trap with
+  /// TrapKind::kWatchdog, so infinite loops terminate deterministically.
+  /// 0 = disabled (the raw simulator default; loaders derive a budget from
+  /// the device spec).
+  std::uint64_t watchdog_cycles = 0;
+  /// Optional instance attribution for failure messages (see InstanceOfFn).
+  InstanceOfFn instance_of = nullptr;
 };
 
 }  // namespace dgc::sim

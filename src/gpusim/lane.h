@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "gpusim/address.h"
+#include "gpusim/faults.h"
 
 namespace dgc::sim {
 
@@ -113,6 +114,16 @@ class Lane {
   ThreadCtx* ctx = nullptr;
   std::uint32_t thread_id = 0;  ///< linear id within the block
   std::vector<Barrier*> memberships;  ///< barriers counting this lane
+
+  /// Armed trap, raised as a DeviceTrap inside the coroutine at the lane's
+  /// next resume point (see detail::RaisePendingTrap in ctx.h). Set by the
+  /// warp scheduler for watchdog expiry and injected trap sites.
+  TrapKind pending_trap = TrapKind::kNone;
+  /// Cycle at which pending_trap was armed (for the trap message).
+  std::uint64_t trap_cycle = 0;
+  /// Per-lane watchdog: trap the lane at its first resume at or after this
+  /// cycle. 0 = disarmed. Re-armed per instance by the ensemble loader.
+  std::uint64_t watchdog_deadline = 0;
 
   /// Set by the root coroutine's final awaiter.
   void MarkRootFinished() { root_finished_ = true; }

@@ -27,15 +27,18 @@ Status LaunchContext::Run() {
   while (engine.RunOne()) {
   }
   if (done_blocks_ != total_blocks_) {
-    return Status(
-        ErrorCode::kInternal,
-        StrFormat("kernel '%s' deadlocked: %llu of %llu blocks retired "
-                  "(a lane is blocked on a barrier that can never release)",
-                  config.name, (unsigned long long)done_blocks_,
-                  (unsigned long long)total_blocks_));
+    outcome = LaunchOutcome::kDeadlocked;
+    ++failure_count;
+    if (failures.size() < kMaxRecordedFailures) {
+      failures.push_back(
+          StrFormat("kernel '%s' deadlocked: %llu of %llu blocks retired "
+                    "(a lane is blocked on a barrier that can never release)",
+                    config.name, (unsigned long long)done_blocks_,
+                    (unsigned long long)total_blocks_));
+    }
   }
   stats.elapsed_cycles = engine.now();
-  stats.blocks_launched = total_blocks_;
+  stats.blocks_launched = next_block_;
   return Status::Ok();
 }
 
@@ -45,11 +48,22 @@ void LaunchContext::OnBlockFinished(Block* block, std::uint64_t now) {
   TrySchedule(now);
 }
 
-void LaunchContext::RecordFailure(std::string message) {
+void LaunchContext::RecordFailure(std::uint32_t block, std::uint32_t thread,
+                                  TrapKind kind, const std::string& what) {
   ++failure_count;
-  if (failures.size() < kMaxRecordedFailures) {
-    failures.push_back(std::move(message));
+  if (kind == TrapKind::kWatchdog) {
+    ++stats.watchdog_traps;
+  } else if (kind != TrapKind::kNone) {
+    ++stats.lane_traps;
   }
+  if (failures.size() >= kMaxRecordedFailures) return;
+  std::string prefix;
+  if (config.instance_of) {
+    const std::int32_t instance = config.instance_of(block, thread);
+    if (instance >= 0) prefix = StrFormat("instance=%d ", instance);
+  }
+  failures.push_back(StrFormat("%sblock %u thread %u: %s", prefix.c_str(),
+                               block, thread, what.c_str()));
 }
 
 void LaunchContext::TrySchedule(std::uint64_t now) {

@@ -29,12 +29,19 @@ struct LaunchContext {
   LaunchContext(const LaunchContext&) = delete;
   LaunchContext& operator=(const LaunchContext&) = delete;
 
-  /// Dispatches initial blocks and drains the event queue. Returns kInternal
-  /// on deadlock (lanes blocked forever — e.g. a barrier nobody releases).
+  /// Dispatches initial blocks and drains the event queue. A deadlock
+  /// (lanes blocked forever — e.g. a barrier nobody releases) is recorded
+  /// as outcome = kDeadlocked plus a failure entry, not an error Status:
+  /// a deadlocked point in a sweep fails that point, not the process, and
+  /// loaders attribute it to the instances that were still running.
   Status Run();
 
   void OnBlockFinished(Block* block, std::uint64_t now);
-  void RecordFailure(std::string message);
+  /// Records one lane failure, prefixed with the owning instance when the
+  /// launch configured an instance_of hook. `kind` classifies traps for the
+  /// stats counters (kNone for ordinary exceptions).
+  void RecordFailure(std::uint32_t block, std::uint32_t thread, TrapKind kind,
+                     const std::string& what);
 
   const DeviceSpec& spec;
   MemorySystem& memsys;
@@ -43,6 +50,7 @@ struct LaunchContext {
 
   Engine engine;
   LaunchStats stats;
+  LaunchOutcome outcome = LaunchOutcome::kCompleted;
   std::vector<std::string> failures;
   std::uint64_t failure_count = 0;
 

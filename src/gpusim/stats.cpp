@@ -29,6 +29,8 @@ void LaunchStats::Accumulate(const LaunchStats& o) {
   elapsed_cycles += o.elapsed_cycles;
   blocks_launched += o.blocks_launched;
   memcheck_findings += o.memcheck_findings;
+  lane_traps += o.lane_traps;
+  watchdog_traps += o.watchdog_traps;
 }
 
 namespace {
@@ -72,6 +74,11 @@ std::string LaunchStats::ToString() const {
   if (memcheck_findings != 0) {
     out += StrFormat("memcheck findings: %s\n",
                      FormatCount(memcheck_findings).c_str());
+  }
+  if (lane_traps != 0 || watchdog_traps != 0) {
+    out += StrFormat("lane traps: %s (watchdog %s)\n",
+                     FormatCount(lane_traps + watchdog_traps).c_str(),
+                     FormatCount(watchdog_traps).c_str());
   }
   return out;
 }

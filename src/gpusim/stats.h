@@ -35,6 +35,11 @@ struct LaunchStats {
   std::uint64_t blocks_launched = 0;
   /// Sanitizer findings attributed to this launch (0 when memcheck is off).
   std::uint64_t memcheck_findings = 0;
+  /// Lanes retired by a device trap (OOM/abort/injected; watchdog counted
+  /// separately below).
+  std::uint64_t lane_traps = 0;
+  /// Lanes retired by a watchdog cycle budget.
+  std::uint64_t watchdog_traps = 0;
 
   void Accumulate(const LaunchStats& other);
 

@@ -34,6 +34,26 @@ Warp::Warp(Block* block, std::uint32_t warp_id, std::span<Lane> lanes,
 void Warp::WakeAt(std::uint64_t t, Engine& engine) { engine.Schedule(t, this); }
 
 void Warp::Turn(std::uint64_t now) {
+  // Injected trap sites fire at the warp's first turn at or after their
+  // cycle: every live lane of the warp is armed, and each raises the trap
+  // inside its coroutine at its next resume (a trap is a lane-level event,
+  // like a real illegal-instruction fault).
+  if (FaultPlan* faults = lc_->config.faults) {
+    while (FaultPlan::TrapSite* site =
+               faults->MatchTrap(block_->id(), warp_id_, now)) {
+      (void)site;
+      for (Lane& lane : lanes_) {
+        if (lane.root_finished() || lane.state == Lane::State::kDone ||
+            lane.state == Lane::State::kFailed) {
+          continue;
+        }
+        if (lane.pending_trap == TrapKind::kNone) {
+          lane.pending_trap = TrapKind::kInjected;
+          lane.trap_cycle = now;
+        }
+      }
+    }
+  }
   const bool resumed_any = ResumePhase(now);
   bool processed_any = false;
   ProcessPhase(now, processed_any);
@@ -51,11 +71,21 @@ void Warp::Turn(std::uint64_t now) {
 }
 
 bool Warp::ResumePhase(std::uint64_t now) {
+  const std::uint64_t budget = lc_->config.watchdog_cycles;
   bool resumed_any = false;
   for (Lane& lane : lanes_) {
     if (lane.state != Lane::State::kReady || lane.root_finished()) continue;
     if (lane.pending.kind != DeviceOp::Kind::kNone) continue;
     if (lane.ready_at > now) continue;
+    // Watchdog enforcement happens at the resume point: a lane past the
+    // launch budget (or its own per-instance deadline) is armed to trap,
+    // and the resume below raises it inside the coroutine.
+    if (lane.pending_trap == TrapKind::kNone &&
+        ((budget != 0 && now >= budget) ||
+         (lane.watchdog_deadline != 0 && now >= lane.watchdog_deadline))) {
+      lane.pending_trap = TrapKind::kWatchdog;
+      lane.trap_cycle = now;
+    }
     lane.Resume();
     resumed_any = true;
     if (!lane.root_finished()) continue;
@@ -63,14 +93,17 @@ bool Warp::ResumePhase(std::uint64_t now) {
     if (std::exception_ptr err = lane.root_error()) {
       lane.state = Lane::State::kFailed;
       std::string what = "unknown device exception";
+      TrapKind kind = TrapKind::kNone;
       try {
         std::rethrow_exception(err);
+      } catch (const DeviceTrap& trap) {
+        what = trap.what();
+        kind = trap.kind();
       } catch (const std::exception& e) {
         what = e.what();
       } catch (...) {
       }
-      lc_->RecordFailure(StrFormat("block %u thread %u: %s", block_->id(),
-                                   lane.thread_id, what.c_str()));
+      lc_->RecordFailure(block_->id(), lane.thread_id, kind, what);
     } else {
       lane.state = Lane::State::kDone;
     }
@@ -298,6 +331,10 @@ std::uint64_t Warp::IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t) {
 std::uint64_t Warp::IssueWorkGroup(std::span<Lane*> group, std::uint64_t t) {
   std::uint64_t cycles = 1;
   for (Lane* lane : group) cycles = std::max(cycles, lane->pending.cycles);
+  if (const FaultPlan* faults = lc_->config.faults) {
+    // Injected slowdown (e.g. modeling a thermally-throttled block).
+    cycles *= faults->WorkScale(block_->id());
+  }
   return block_->sm()->IssueCompute(t, cycles, lc_->stats);
 }
 

@@ -37,6 +37,9 @@ StatusOr<sim::LaunchResult> LaunchTeams(sim::Device& device,
   launch.name = cfg.name;
   launch.trace = cfg.trace;
   launch.memcheck = cfg.memcheck;
+  launch.faults = cfg.faults;
+  launch.watchdog_cycles = cfg.watchdog_cycles;
+  launch.instance_of = cfg.instance_of;
 
   const std::uint32_t num_teams = cfg.num_teams;
   const std::uint32_t team_size = cfg.thread_limit;

@@ -29,6 +29,14 @@ struct TeamsConfig {
   /// Optional shadow-memory sanitizer (gpusim/memcheck.h), forwarded to the
   /// kernel launch; must already be attached to the device's memory.
   sim::Memcheck* memcheck = nullptr;
+  /// Optional deterministic fault-injection plan (gpusim/faults.h),
+  /// forwarded to the kernel launch; null = off.
+  sim::FaultPlan* faults = nullptr;
+  /// Launch watchdog cycle budget (0 = disabled); see LaunchConfig.
+  std::uint64_t watchdog_cycles = 0;
+  /// Optional instance attribution for lane-failure messages; installed by
+  /// the ensemble loader (see sim::InstanceOfFn).
+  sim::InstanceOfFn instance_of;
 };
 
 /// The per-team entry point, run by the team's initial thread only (the

@@ -60,13 +60,20 @@ void PrintOutcome(const dgcf::RunResult& run, const sim::DeviceSpec& spec,
   for (std::size_t i = 0; i < run.instances.size(); ++i) {
     const dgcf::InstanceResult& inst = run.instances[i];
     if (!inst.completed) {
-      std::printf("instance %zu: CRASHED\n", i);
+      std::printf("instance %zu: FAILED (%s)%s%s after %u attempt(s)\n", i,
+                  std::string(dgcf::ToString(inst.reason)).c_str(),
+                  inst.detail.empty() ? "" : ": ",
+                  inst.detail.c_str(), inst.attempts);
     } else if (inst.exit_code != 0) {
       std::printf("instance %zu: exit %d\n", i, inst.exit_code);
+    } else if (inst.attempts > 1) {
+      std::printf("instance %zu: recovered on attempt %u\n", i, inst.attempts);
     }
   }
-  std::printf("%zu instance(s), kernel %s cycles (%s), transfers %s cycles\n",
-              run.instances.size(), FormatCount(run.kernel_cycles).c_str(),
+  std::printf("%zu instance(s) in %u launch wave(s), kernel %s cycles (%s), "
+              "transfers %s cycles\n",
+              run.instances.size(), run.waves,
+              FormatCount(run.kernel_cycles).c_str(),
               FormatSeconds(spec.CyclesToSeconds(run.kernel_cycles)).c_str(),
               FormatCount(run.transfer_cycles).c_str());
   if (stats) std::printf("\n%s", run.stats.ToString().c_str());
@@ -95,6 +102,9 @@ int RunSweepMode(const std::string& app,
   std::string file;
   std::int64_t threads = 1024, per_block = 1, seed = 0;
   bool script = false;
+  std::string inject;
+  std::int64_t watchdog = 0, instance_watchdog = 0;
+  std::int64_t retry = 1, retry_shrink = 2;
   ArgParser parser("ensemble sweep (Fig. 6 methodology)");
   parser.AddString("file", 'f', "command line arguments file", &file,
                    /*required=*/true)
@@ -102,13 +112,22 @@ int RunSweepMode(const std::string& app,
       .AddInt("teams-per-block", 'm', "instances per thread block (§3.1)",
               &per_block)
       .AddFlag("script", 0, "treat the file as an argument script", &script)
-      .AddInt("seed", 0, "argument-script random seed", &seed);
+      .AddInt("seed", 0, "argument-script random seed", &seed)
+      .AddString("inject", 0, "deterministic fault-injection spec", &inject)
+      .AddInt("watchdog", 0, "launch cycle budget (0 = device default)",
+              &watchdog)
+      .AddInt("instance-watchdog", 0, "per-instance cycle budget (0 = off)",
+              &instance_watchdog)
+      .AddInt("retry", 0, "max launch attempts per failed instance", &retry)
+      .AddInt("retry-shrink", 0, "team-cap divisor per retry wave",
+              &retry_shrink);
   const Status parsed = parser.Parse(loader_args);
   if (!parsed.ok()) {
     std::fprintf(stderr, "dgc-run: %s\n", parsed.ToString().c_str());
     return 2;
   }
-  if (threads <= 0 || per_block <= 0) {
+  if (threads <= 0 || per_block <= 0 || watchdog < 0 ||
+      instance_watchdog < 0 || retry <= 0 || retry_shrink < 0) {
     std::fprintf(stderr, "dgc-run: counts must be positive\n");
     return 2;
   }
@@ -146,6 +165,11 @@ int RunSweepMode(const std::string& app,
   cfg.thread_limit = std::uint32_t(threads);
   cfg.teams_per_block = std::uint32_t(per_block);
   cfg.spec = spec;
+  cfg.inject_spec = inject;  // parsed fresh per point (determinism)
+  cfg.watchdog_cycles = std::uint64_t(watchdog);
+  cfg.instance_watchdog_cycles = std::uint64_t(instance_watchdog);
+  cfg.max_attempts = std::uint32_t(retry);
+  cfg.retry_shrink = std::uint32_t(retry_shrink);
 
   ensemble::SweepOptions options;
   options.jobs = jobs;
@@ -198,7 +222,17 @@ int main(int argc, char** argv) {
         "  -m <count>     instances per thread block (default 1)\n"
         "  --teams <n>    teams (default: one per instance)\n"
         "  --script       treat -f file as an argument script\n"
-        "  --seed <n>     argument-script random seed\n\n"
+        "  --seed <n>     argument-script random seed\n"
+        "  --inject <spec>  deterministic fault injection, e.g.\n"
+        "                 'seed@7;malloc-fail@3;trap@b0.w1.c5000' (see\n"
+        "                 docs/MODEL.md, Failure semantics)\n"
+        "  --watchdog <cycles>  launch cycle budget; still-running lanes\n"
+        "                 trap when it expires (0 = device default)\n"
+        "  --instance-watchdog <cycles>  per-instance budget (0 = off)\n"
+        "  --retry <n>    max launch attempts per failed instance\n"
+        "                 (default 1 = no retry)\n"
+        "  --retry-shrink <n>  divide the team cap by <n> each retry wave\n"
+        "                 (default 2)\n\n"
         "tool options (must precede the loader options):\n"
         "  --device <d>   a100 (default), v100, or test\n"
         "  --memory-scale <n>  capacity scale divisor (default 512)\n"
