@@ -2,6 +2,7 @@
 
 #include "dgcf/argv.h"
 #include "gpusim/device.h"
+#include "gpusim/profiler.h"
 #include "ompx/league.h"
 #include "support/str.h"
 
@@ -63,6 +64,7 @@ StatusOr<RunResult> RunSingleInstance(AppEnv& env,
                             : env.device->spec().DefaultWatchdogCycles();
   // One instance: every lane of the launch belongs to it.
   cfg.instance_of = [](std::uint32_t, std::uint32_t) { return 0; };
+  cfg.profiler = options.profiler;
 
   InstanceResult& inst = run.instances[0];
   auto result = ompx::LaunchTeams(
@@ -110,6 +112,10 @@ StatusOr<RunResult> RunSingleInstance(AppEnv& env,
   }
   // Mapping back the Ret value (map(from:Ret[:1])).
   run.transfer_cycles += sim::TransferCycles(env.device->spec(), sizeof(int));
+  if (options.profiler != nullptr) {
+    options.profiler->SetInstanceElapsed(0, inst.cycles);
+    run.instance_stats = options.profiler->instances();
+  }
   return run;
 }
 

@@ -17,6 +17,10 @@
 #include "gpusim/stats.h"
 #include "support/status.h"
 
+namespace dgc::sim {
+class Profiler;
+}  // namespace dgc::sim
+
 namespace dgc::dgcf {
 
 /// How one application instance ended. kReturned is the only *completed*
@@ -69,6 +73,10 @@ struct RunResult {
   /// Sanitizer findings when the run was launched with a memcheck attached
   /// (clean/empty otherwise).
   sim::MemcheckReport memcheck;
+  /// Per-instance counter attribution when the run was profiled (empty
+  /// otherwise): entry 0 is the unattributed slot (instance -1), then one
+  /// entry per instance in id order. See gpusim/profiler.h.
+  std::vector<sim::InstanceStats> instance_stats;
 
   std::uint64_t total_cycles() const { return kernel_cycles + transfer_cycles; }
   /// True when every instance completed with exit code 0. An empty
@@ -96,6 +104,9 @@ struct SingleRunOptions {
   sim::FaultPlan* faults = nullptr;
   /// Launch watchdog cycle budget; 0 derives the device-spec default.
   std::uint64_t watchdog_cycles = 0;
+  /// Optional launch profiler (gpusim/profiler.h); null = off. When set,
+  /// the run fills RunResult::instance_stats from it.
+  sim::Profiler* profiler = nullptr;
 };
 
 /// Runs one instance on one team, as the original framework does.

@@ -8,7 +8,9 @@
 #include "dgcf/loader.h"
 #include "dgcf/rpc.h"
 #include "ensemble/loader.h"
+#include "ensemble/metrics.h"
 #include "gpusim/device.h"
+#include "gpusim/profiler.h"
 #include "support/str.h"
 #include "support/thread_pool.h"
 
@@ -52,6 +54,15 @@ Status RunPoint(const ExperimentConfig& config, std::uint32_t n,
   options.max_attempts = config.max_attempts;
   options.retry_shrink = config.retry_shrink;
 
+  // Profiling is point-local (like the device): the profiler only observes
+  // this simulation, so sidecars cannot depend on job scheduling.
+  sim::Profiler::Options profiler_options;
+  if (config.profile_interval != 0) {
+    profiler_options.sample_interval = config.profile_interval;
+  }
+  sim::Profiler profiler(profiler_options);
+  if (config.profile) options.profiler = &profiler;
+
   // Each point parses its own plan: consumption counters must start fresh
   // for every (benchmark × count) so the sweep is byte-identical for any
   // --jobs value.
@@ -94,6 +105,15 @@ Status RunPoint(const ExperimentConfig& config, std::uint32_t n,
   point.ran = true;
   point.cycles = run->kernel_cycles;
   point.stats = run->stats;
+  if (config.profile) {
+    MetricsInfo info;
+    info.app = config.app;
+    info.device = config.spec.name;
+    info.thread_limit = config.thread_limit;
+    info.instances = n;
+    info.teams_per_block = config.teams_per_block;
+    point.metrics_json = FormatMetricsJson(info, *run, &profiler);
+  }
   return Status::Ok();
 }
 

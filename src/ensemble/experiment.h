@@ -41,6 +41,12 @@ struct ExperimentConfig {
   std::uint64_t instance_watchdog_cycles = 0;  ///< 0 = off
   std::uint32_t max_attempts = 1;
   std::uint32_t retry_shrink = 2;
+  /// Profile every point: each point runs under its own Profiler and fills
+  /// SpeedupPoint::metrics_json (the --metrics-json sidecar). Profiling is
+  /// deterministic, so sidecars stay byte-identical for any --jobs value.
+  bool profile = false;
+  /// Timeline sample interval when profiling; 0 = the Profiler default.
+  std::uint64_t profile_interval = 0;
 };
 
 /// Progress of one sweep point, reported as it starts and finishes so long
@@ -76,6 +82,9 @@ struct SpeedupPoint {
   std::uint64_t cycles = 0;  ///< TN, kernel execution cycles
   double speedup = 0.0;      ///< T1 · N / TN
   sim::LaunchStats stats;
+  /// Complete dgc-metrics-v1 document for this point (ensemble/metrics.h)
+  /// when ExperimentConfig::profile is set and the point ran; "" otherwise.
+  std::string metrics_json;
 };
 
 struct SpeedupSeries {

@@ -10,6 +10,8 @@
 #include "ensemble/argfile.h"
 #include "ensemble/argscript.h"
 #include "gpusim/device.h"
+#include "gpusim/profiler.h"
+#include "gpusim/trace.h"
 #include "ompx/league.h"
 #include "support/argparse.h"
 #include "support/str.h"
@@ -112,7 +114,12 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
 
   for (std::uint32_t wave = 0; wave < options.max_attempts && !pending.empty();
        ++wave) {
-    if (wave > 0) team_cap = std::max(1u, team_cap / shrink);
+    if (wave > 0) {
+      team_cap = std::max(1u, team_cap / shrink);
+      // Retry waves reuse block ids; a fresh trace wave keeps their rows
+      // (and Perfetto tids) distinct from the previous launch's.
+      if (options.trace != nullptr) options.trace->BeginWave();
+    }
     const std::uint32_t wave_teams =
         std::min<std::uint32_t>(team_cap, std::uint32_t(pending.size()));
 
@@ -129,6 +136,7 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
     cfg.trace = options.trace;
     cfg.memcheck = options.memcheck;
     cfg.faults = options.faults;
+    cfg.profiler = options.profiler;
     cfg.watchdog_cycles = launch_watchdog;
     const std::uint32_t m = options.teams_per_block;
     const std::uint32_t team_size = options.thread_limit;
@@ -200,7 +208,10 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
 
     run.waves = wave + 1;
     run.kernel_cycles += result->cycles;
-    run.stats.Accumulate(result->stats);
+    // Waves run back-to-back on the device, so their elapsed cycles add —
+    // the sequential merge. (Per-instance stats of one wave are the
+    // concurrent case; the profiler handles those.)
+    run.stats.AccumulateSequential(result->stats);
     for (std::string& f : result->failures) run.failures.push_back(std::move(f));
     // The sanitizer report is cumulative since Attach; the latest wave's
     // snapshot covers all waves so far.
@@ -244,6 +255,13 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
   // map(from:Ret[:NI])
   run.transfer_cycles +=
       sim::TransferCycles(env.device->spec(), std::uint64_t(ni) * sizeof(int));
+  if (options.profiler != nullptr) {
+    for (std::uint32_t i = 0; i < ni; ++i) {
+      options.profiler->SetInstanceElapsed(std::int32_t(i),
+                                           run.instances[i].cycles);
+    }
+    run.instance_stats = options.profiler->instances();
+  }
   return run;
 }
 
@@ -251,7 +269,8 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
                                          const std::string& app,
                                          const std::vector<std::string>& argv,
                                          sim::Trace* trace,
-                                         sim::Memcheck* memcheck) {
+                                         sim::Memcheck* memcheck,
+                                         sim::Profiler* profiler) {
   std::string file;
   std::int64_t instances = 0, threads = 1024, teams = 0, per_block = 1;
   std::int64_t seed = 0;
@@ -299,6 +318,7 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
   options.teams_per_block = std::uint32_t(per_block);
   options.trace = trace;
   options.memcheck = memcheck;
+  options.profiler = profiler;
   options.watchdog_cycles = std::uint64_t(watchdog);
   options.instance_watchdog_cycles = std::uint64_t(instance_watchdog);
   options.max_attempts = std::uint32_t(retry);

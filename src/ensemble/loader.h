@@ -66,6 +66,10 @@ struct EnsembleOptions {
   /// the memory/contention pressure that commonly caused the failure.
   /// 0 or 1 = retries reuse the original team count.
   std::uint32_t retry_shrink = 2;
+  /// Optional launch profiler (gpusim/profiler.h); null = off. The loader
+  /// forwards it to every wave (one profiler observes all waves), records
+  /// each instance's elapsed cycles, and fills RunResult::instance_stats.
+  sim::Profiler* profiler = nullptr;
 };
 
 /// Runs the ensemble. Instance I's exit code lands in result.instances[I].
@@ -89,6 +93,7 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
                                          const std::string& app,
                                          const std::vector<std::string>& argv,
                                          sim::Trace* trace = nullptr,
-                                         sim::Memcheck* memcheck = nullptr);
+                                         sim::Memcheck* memcheck = nullptr,
+                                         sim::Profiler* profiler = nullptr);
 
 }  // namespace dgc::ensemble

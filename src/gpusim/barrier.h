@@ -41,13 +41,20 @@ class Barrier {
   const std::string& name() const { return name_; }
 
  private:
+  /// A parked lane plus its arrival time, so the release can charge each
+  /// lane's wait (release − arrival) to barrier_stall_cycles.
+  struct Waiter {
+    Lane* lane;
+    std::uint64_t arrived;
+  };
+
   void MaybeRelease(Engine& engine);
 
   std::string name_;
   std::uint32_t expected_ = 0;
   std::uint64_t max_arrival_ = 0;
   std::uint64_t releases_ = 0;
-  std::vector<Lane*> waiters_;
+  std::vector<Waiter> waiters_;
 };
 
 }  // namespace dgc::sim

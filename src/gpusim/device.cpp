@@ -75,7 +75,7 @@ StatusOr<LaunchResult> Device::Launch(const LaunchConfig& config,
   result.failure_count = lc.failure_count;
   if (config.memcheck != nullptr) result.memcheck = config.memcheck->report();
 
-  lifetime_stats_.Accumulate(lc.stats);
+  lifetime_stats_.AccumulateSequential(lc.stats);
   ++launches_;
   return result;
 }

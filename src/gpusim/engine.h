@@ -22,6 +22,15 @@ class Engine {
   /// Pops and dispatches one event; false when the queue is empty.
   bool RunOne();
 
+  /// Sentinel returned by next_event_time() on an empty queue.
+  static constexpr std::uint64_t kNoEvent = ~std::uint64_t(0);
+
+  /// Timestamp of the next event without dispatching it. Lets the run loop
+  /// act between events (timeline sampling) without perturbing them.
+  std::uint64_t next_event_time() const {
+    return queue_.empty() ? kNoEvent : queue_.top().t;
+  }
+
   std::uint64_t now() const { return now_; }
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_dispatched() const { return dispatched_; }

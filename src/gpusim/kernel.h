@@ -11,6 +11,7 @@
 namespace dgc::sim {
 
 class Memcheck;
+class Profiler;
 class Trace;
 struct ThreadCtx;
 
@@ -45,6 +46,11 @@ struct LaunchConfig {
   std::uint64_t watchdog_cycles = 0;
   /// Optional instance attribution for failure messages (see InstanceOfFn).
   InstanceOfFn instance_of = nullptr;
+  /// Optional launch profiler (see gpusim/profiler.h); null = off. When
+  /// set, counters are attributed per instance through `instance_of` and a
+  /// utilization timeline is sampled. Non-owning; one profiler may observe
+  /// several sequential launches (retry waves).
+  Profiler* profiler = nullptr;
 };
 
 }  // namespace dgc::sim

@@ -1,6 +1,7 @@
 #include "gpusim/launch_context.h"
 
 #include "gpusim/block.h"
+#include "gpusim/profiler.h"
 #include "support/str.h"
 
 namespace dgc::sim {
@@ -23,8 +24,19 @@ LaunchContext::LaunchContext(const DeviceSpec& spec_in, MemorySystem& memsys_in,
 LaunchContext::~LaunchContext() = default;
 
 Status LaunchContext::Run() {
+  Profiler* profiler = config.profiler;
+  if (profiler != nullptr) profiler->OnLaunchBegin(spec);
   TrySchedule(0);
-  while (engine.RunOne()) {
+  while (true) {
+    const std::uint64_t t_next = engine.next_event_time();
+    if (t_next == Engine::kNoEvent) break;
+    // Sample boundaries are crossed between events, never inside one, so
+    // profiling cannot perturb event order (determinism).
+    if (profiler != nullptr && profiler->NeedsSampleBefore(t_next)) {
+      profiler->AdvanceTo(t_next, ActiveWarps(), ResidentBlocks(),
+                          instance_buckets_);
+    }
+    engine.RunOne();
   }
   if (done_blocks_ != total_blocks_) {
     outcome = LaunchOutcome::kDeadlocked;
@@ -37,9 +49,40 @@ Status LaunchContext::Run() {
                     (unsigned long long)total_blocks_));
     }
   }
+  if (profiler != nullptr) {
+    profiler->OnLaunchEnd(engine.now(), ActiveWarps(), ResidentBlocks(),
+                          instance_buckets_);
+    // Fold the buckets back so the launch-global totals are identical to a
+    // non-profiled run (buckets carry elapsed_cycles = 0, set below).
+    for (const LaunchStats& bucket : instance_buckets_) {
+      stats.AccumulateSequential(bucket);
+    }
+  }
   stats.elapsed_cycles = engine.now();
   stats.blocks_launched = next_block_;
   return Status::Ok();
+}
+
+LaunchStats& LaunchContext::IssueStats(std::uint32_t block,
+                                       std::uint32_t thread) {
+  if (config.profiler == nullptr) return stats;
+  std::int32_t instance = -1;
+  if (config.instance_of) instance = config.instance_of(block, thread);
+  const std::size_t index = std::size_t(instance + 1);
+  if (instance_buckets_.size() <= index) instance_buckets_.resize(index + 1);
+  return instance_buckets_[index];
+}
+
+std::uint32_t LaunchContext::ActiveWarps() const {
+  std::uint32_t total = 0;
+  for (const SM& sm : sms_) total += std::uint32_t(sm.resident_warps());
+  return total;
+}
+
+std::uint32_t LaunchContext::ResidentBlocks() const {
+  std::uint32_t total = 0;
+  for (const SM& sm : sms_) total += std::uint32_t(sm.resident_blocks());
+  return total;
 }
 
 void LaunchContext::OnBlockFinished(Block* block, std::uint64_t now) {
@@ -52,9 +95,9 @@ void LaunchContext::RecordFailure(std::uint32_t block, std::uint32_t thread,
                                   TrapKind kind, const std::string& what) {
   ++failure_count;
   if (kind == TrapKind::kWatchdog) {
-    ++stats.watchdog_traps;
+    ++IssueStats(block, thread).watchdog_traps;
   } else if (kind != TrapKind::kNone) {
-    ++stats.lane_traps;
+    ++IssueStats(block, thread).lane_traps;
   }
   if (failures.size() >= kMaxRecordedFailures) return;
   std::string prefix;

@@ -43,6 +43,18 @@ struct LaunchContext {
   void RecordFailure(std::uint32_t block, std::uint32_t thread, TrapKind kind,
                      const std::string& what);
 
+  /// Stats sink for counter bumps issued on behalf of lane
+  /// (`block`, `thread`). Without a profiler this is the launch-global
+  /// `stats` (zero overhead over the old direct bumps); with one it is the
+  /// per-instance bucket selected by config.instance_of, folded back into
+  /// `stats` when the run ends — totals are identical either way.
+  LaunchStats& IssueStats(std::uint32_t block, std::uint32_t thread);
+
+  /// Resident warps summed over all SMs (timeline sampling).
+  std::uint32_t ActiveWarps() const;
+  /// Occupied block slots summed over all SMs (timeline sampling).
+  std::uint32_t ResidentBlocks() const;
+
   const DeviceSpec& spec;
   MemorySystem& memsys;
   const LaunchConfig& config;
@@ -57,6 +69,9 @@ struct LaunchContext {
  private:
   void TrySchedule(std::uint64_t now);
 
+  /// Per-instance counter buckets, live only while config.profiler is set:
+  /// index 0 collects unattributed (-1) work, index i + 1 instance i.
+  std::vector<LaunchStats> instance_buckets_;
   std::vector<SM> sms_;
   std::vector<std::unique_ptr<Block>> blocks_;
   std::uint64_t total_blocks_ = 0;

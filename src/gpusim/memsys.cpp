@@ -39,6 +39,10 @@ std::uint64_t MemorySystem::Access(int sm_id,
     // L2: shared bandwidth — sectors serialize on the (fast) L2 port.
     const double l2_service =
         double(spec_.sector_bytes) / spec_.l2_bytes_per_cycle;
+    if (l2_busy_until_ > double(now)) {
+      // Port already busy: this sector queues. Whole cycles per sector.
+      stats.l2_queue_cycles += std::uint64_t(l2_busy_until_ - double(now));
+    }
     l2_busy_until_ = std::max(l2_busy_until_, double(now)) + l2_service;
     const bool l2_hit = l2_.Access(sector);
     if (l2_hit) ++stats.l2_hits; else ++stats.l2_misses;
@@ -69,6 +73,10 @@ std::uint64_t MemorySystem::Access(int sm_id,
     const double channel_rate =
         spec_.dram_bytes_per_cycle / double(channels_.size());
     const double service = double(spec_.sector_bytes) / channel_rate;
+    if (ch.busy_until > double(now)) {
+      // Channel backlog — the direct signature of bandwidth saturation.
+      stats.dram_queue_cycles += std::uint64_t(ch.busy_until - double(now));
+    }
     ch.busy_until = std::max(ch.busy_until, double(now)) + service;
     stats.dram_bytes += spec_.sector_bytes;
     completion = std::max(

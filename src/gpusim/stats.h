@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace dgc::sim {
 
@@ -27,6 +28,16 @@ struct LaunchStats {
   std::uint64_t smem_accesses = 0;
   std::uint64_t smem_bank_conflicts = 0;  ///< extra serialized bank cycles
 
+  // Stall / queueing behaviour (see docs/MODEL.md, "Profiling & metrics").
+  /// Cycles sectors waited for a busy DRAM channel before service began —
+  /// the direct signature of bandwidth saturation (truncated to whole
+  /// cycles per sector).
+  std::uint64_t dram_queue_cycles = 0;
+  /// Cycles sectors waited for the (shared) L2 port.
+  std::uint64_t l2_queue_cycles = 0;
+  /// Cycles lanes spent parked at barriers between arrival and release.
+  std::uint64_t barrier_stall_cycles = 0;
+
   // Compute behaviour.
   std::uint64_t compute_cycles_issued = 0;
 
@@ -41,7 +52,17 @@ struct LaunchStats {
   /// Lanes retired by a watchdog cycle budget.
   std::uint64_t watchdog_traps = 0;
 
-  void Accumulate(const LaunchStats& other);
+  /// Merges counters of work that ran AFTER this work, on the same device
+  /// clock (retry waves, successive launches): every counter sums,
+  /// including elapsed_cycles — back-to-back durations add.
+  void AccumulateSequential(const LaunchStats& other);
+
+  /// Merges counters of work that ran CONCURRENTLY inside one launch
+  /// (per-instance stats of co-resident instances): throughput counters
+  /// sum, but elapsed_cycles takes the max — two instances that each ran
+  /// 1000 overlapping cycles occupied the device for 1000 cycles, not
+  /// 2000. Summing here was the historical bug this split fixes.
+  void AccumulateConcurrent(const LaunchStats& other);
 
   /// Fraction of coalesced sectors that were strictly necessary (1.0 is
   /// perfectly coalesced; lower means scattered accesses).
@@ -50,8 +71,19 @@ struct LaunchStats {
   double L2HitRate() const;
   double DramRowHitRate() const;
 
-  /// Multi-line human-readable report.
+  /// Multi-line human-readable report. Hit rates with zero accesses print
+  /// "n/a" (not 0.00): a kernel that never touched a cache did not miss
+  /// 100% of the time.
   std::string ToString() const;
+};
+
+/// Per-instance slice of a launch's counters, attributed through
+/// LaunchConfig::instance_of by the profiler (gpusim/profiler.h).
+/// instance == -1 collects work no instance owns (runtime bookkeeping,
+/// padding lanes, teams between instances).
+struct InstanceStats {
+  std::int32_t instance = -1;
+  LaunchStats stats;
 };
 
 }  // namespace dgc::sim

@@ -28,12 +28,17 @@ std::string Trace::ToChromeJson() const {
     if (!first) out += ",\n";
     first = false;
     const std::uint64_t dur = e.complete > e.issue ? e.complete - e.issue : 1;
+    // The tid folds wave, block and warp into one integer: waves are widely
+    // separated so that rows from different retry waves never collide.
+    const std::uint64_t tid =
+        std::uint64_t(e.wave) * 1000000 + std::uint64_t(e.block) * 100 + e.warp;
     out += StrFormat(
         R"(  {"name":"%.*s","ph":"X","ts":%llu,"dur":%llu,"pid":%d,)"
-        R"("tid":%u,"args":{"block":%u,"warp":%u,"lanes":%u,"sectors":%u}})",
+        R"("tid":%llu,"args":{"wave":%u,"block":%u,"warp":%u,"lanes":%u,)"
+        R"("sectors":%u}})",
         int(TraceKindName(e.kind).size()), TraceKindName(e.kind).data(),
         (unsigned long long)e.issue, (unsigned long long)dur, e.sm,
-        e.block * 100 + e.warp, e.block, e.warp, e.lanes, e.sectors);
+        (unsigned long long)tid, e.wave, e.block, e.warp, e.lanes, e.sectors);
   }
   out += "\n]\n";
   return out;

@@ -26,6 +26,10 @@ struct TraceEvent {
   std::uint64_t complete = 0;  ///< cycle the group completed
   std::uint32_t lanes = 0;     ///< lanes in the group
   std::uint32_t sectors = 0;   ///< memory sectors touched (mem kinds only)
+  /// Relaunch wave the event belongs to (stamped by Record from the trace's
+  /// current wave). Block ids repeat across retry waves; without the wave in
+  /// the row key, unrelated waves would merge into one Perfetto row.
+  std::uint32_t wave = 0;
 };
 
 /// Human-readable tag for an op kind ("load", "work", ...).
@@ -39,20 +43,28 @@ class Trace {
   void Record(const TraceEvent& event) {
     if (events_.size() < capacity_) {
       events_.push_back(event);
+      events_.back().wave = current_wave_;
     } else {
       ++dropped_;
     }
   }
 
+  /// Marks the start of a relaunch wave: events recorded from here on are
+  /// stamped with the next wave index. Called by the ensemble loader before
+  /// each retry launch (the initial launch is wave 0).
+  void BeginWave() { ++current_wave_; }
+
   const std::vector<TraceEvent>& events() const { return events_; }
   std::uint64_t dropped() const { return dropped_; }
+  std::uint32_t current_wave() const { return current_wave_; }
   void Clear() {
     events_.clear();
     dropped_ = 0;
+    current_wave_ = 0;
   }
 
   /// Chrome-trace JSON ("ts"/"dur" in simulated cycles, pid = SM,
-  /// tid = block:warp).
+  /// tid = wave:block:warp so retry waves get distinct rows).
   std::string ToChromeJson() const;
   Status WriteChromeJson(const std::string& path) const;
 
@@ -60,6 +72,7 @@ class Trace {
   std::size_t capacity_;
   std::vector<TraceEvent> events_;
   std::uint64_t dropped_ = 0;
+  std::uint32_t current_wave_ = 0;
 };
 
 }  // namespace dgc::sim

@@ -151,36 +151,41 @@ std::uint64_t Warp::ProcessPhase(std::uint64_t now, bool& processed_any) {
     if (group_.empty()) break;
     ++groups;
     processed_any = true;
-    ++lc_->stats.warp_instructions;
+    // One stats sink per issue group: lanes of a group share an op and —
+    // with the block/team-granular instance_of maps the loaders install —
+    // an owning instance, so the leading lane speaks for the group.
+    LaunchStats& gstats =
+        lc_->IssueStats(block_->id(), group_.front()->thread_id);
+    ++gstats.warp_instructions;
 
     std::uint64_t t_end = issue;
     switch (kind) {
       case DeviceOp::Kind::kWork:
-        ++lc_->stats.compute_instructions;
-        t_end = IssueWorkGroup(group_, issue);
+        ++gstats.compute_instructions;
+        t_end = IssueWorkGroup(group_, issue, gstats);
         break;
       case DeviceOp::Kind::kLoad:
-        ++lc_->stats.load_instructions;
-        t_end = IssueMemoryGroup(group_, /*is_store=*/false, issue);
+        ++gstats.load_instructions;
+        t_end = IssueMemoryGroup(group_, /*is_store=*/false, issue, gstats);
         break;
       case DeviceOp::Kind::kLoadBatch:
-        ++lc_->stats.load_instructions;
-        t_end = IssueBatchGroup(group_, issue, /*is_store=*/false);
+        ++gstats.load_instructions;
+        t_end = IssueBatchGroup(group_, issue, /*is_store=*/false, gstats);
         break;
       case DeviceOp::Kind::kStoreBatch:
-        ++lc_->stats.store_instructions;
-        t_end = IssueBatchGroup(group_, issue, /*is_store=*/true);
+        ++gstats.store_instructions;
+        t_end = IssueBatchGroup(group_, issue, /*is_store=*/true, gstats);
         break;
       case DeviceOp::Kind::kStore:
-        ++lc_->stats.store_instructions;
-        t_end = IssueMemoryGroup(group_, /*is_store=*/true, issue);
+        ++gstats.store_instructions;
+        t_end = IssueMemoryGroup(group_, /*is_store=*/true, issue, gstats);
         break;
       case DeviceOp::Kind::kAtomic:
-        ++lc_->stats.atomic_instructions;
-        t_end = IssueAtomicGroup(group_, issue);
+        ++gstats.atomic_instructions;
+        t_end = IssueAtomicGroup(group_, issue, gstats);
         break;
       case DeviceOp::Kind::kExternal:
-        t_end = IssueExternalGroup(group_, issue);
+        t_end = IssueExternalGroup(group_, issue, gstats);
         break;
       case DeviceOp::Kind::kSync:
         IssueSyncGroup(group_, issue);
@@ -209,7 +214,10 @@ std::uint64_t Warp::ProcessPhase(std::uint64_t now, bool& processed_any) {
     t = std::max(t, t_end);
     issue += kIssueCycles;
   }
-  if (groups > 1) lc_->stats.divergent_replays += std::uint64_t(groups - 1);
+  if (groups > 1) {
+    lc_->IssueStats(block_->id(), lanes_.front().thread_id).divergent_replays +=
+        std::uint64_t(groups - 1);
+  }
 
   // Warp-synchronous re-convergence: every lane processed this turn
   // resumes together at the slowest group's completion. Without this,
@@ -224,7 +232,7 @@ std::uint64_t Warp::ProcessPhase(std::uint64_t now, bool& processed_any) {
 }
 
 std::uint64_t Warp::IssueMemoryGroup(std::span<Lane*> group, bool is_store,
-                                     std::uint64_t t) {
+                                     std::uint64_t t, LaunchStats& stats) {
   const bool shared_space = IsSharedAddr(group.front()->pending.addr);
   Memcheck* const memcheck = lc_->config.memcheck;
 
@@ -246,7 +254,7 @@ std::uint64_t Warp::IssueMemoryGroup(std::span<Lane*> group, bool is_store,
     std::vector<std::uint64_t> addrs;
     addrs.reserve(group.size());
     for (Lane* lane : group) addrs.push_back(lane->pending.addr - kSharedBase);
-    return lc_->memsys.AccessShared(addrs, t, lc_->stats);
+    return lc_->memsys.AccessShared(addrs, t, stats);
   }
 
   std::vector<LaneAccess> accesses;
@@ -255,14 +263,13 @@ std::uint64_t Warp::IssueMemoryGroup(std::span<Lane*> group, bool is_store,
     accesses.push_back({lane->pending.addr, lane->pending.bytes});
   }
   CoalesceSectors(accesses, lc_->spec.sector_bytes, sectors_);
-  lc_->stats.global_sectors += sectors_.size();
-  lc_->stats.ideal_sectors += IdealSectorCount(accesses, lc_->spec.sector_bytes);
-  return lc_->memsys.Access(block_->sm()->id(), sectors_, is_store, t,
-                            lc_->stats);
+  stats.global_sectors += sectors_.size();
+  stats.ideal_sectors += IdealSectorCount(accesses, lc_->spec.sector_bytes);
+  return lc_->memsys.Access(block_->sm()->id(), sectors_, is_store, t, stats);
 }
 
 std::uint64_t Warp::IssueBatchGroup(std::span<Lane*> group, std::uint64_t t,
-                                    bool is_store) {
+                                    bool is_store, LaunchStats& stats) {
   // Pipelined independent loads/stores: every slot of every lane coalesces
   // into one stream of sectors that pays bandwidth-serialized service but
   // only one latency trip — the scoreboarded-MLP behaviour of streaming
@@ -288,13 +295,13 @@ std::uint64_t Warp::IssueBatchGroup(std::span<Lane*> group, std::uint64_t t,
     }
   }
   CoalesceSectors(accesses, lc_->spec.sector_bytes, sectors_);
-  lc_->stats.global_sectors += sectors_.size();
-  lc_->stats.ideal_sectors += IdealSectorCount(accesses, lc_->spec.sector_bytes);
-  return lc_->memsys.Access(block_->sm()->id(), sectors_, is_store, t,
-                            lc_->stats);
+  stats.global_sectors += sectors_.size();
+  stats.ideal_sectors += IdealSectorCount(accesses, lc_->spec.sector_bytes);
+  return lc_->memsys.Access(block_->sm()->id(), sectors_, is_store, t, stats);
 }
 
-std::uint64_t Warp::IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t) {
+std::uint64_t Warp::IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t,
+                                     LaunchStats& stats) {
   Memcheck* const memcheck = lc_->config.memcheck;
   // Functional read-modify-write in lane order (deterministic).
   for (Lane* lane : group) {
@@ -310,43 +317,43 @@ std::uint64_t Warp::IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t) {
   if (shared_space) {
     std::vector<std::uint64_t> addrs;
     for (Lane* lane : group) addrs.push_back(lane->pending.addr - kSharedBase);
-    t_end = lc_->memsys.AccessShared(addrs, t, lc_->stats);
+    t_end = lc_->memsys.AccessShared(addrs, t, stats);
   } else {
     std::vector<LaneAccess> accesses;
     for (Lane* lane : group) {
       accesses.push_back({lane->pending.addr, lane->pending.bytes});
     }
     CoalesceSectors(accesses, lc_->spec.sector_bytes, sectors_);
-    lc_->stats.global_sectors += sectors_.size();
-    lc_->stats.ideal_sectors +=
-        IdealSectorCount(accesses, lc_->spec.sector_bytes);
+    stats.global_sectors += sectors_.size();
+    stats.ideal_sectors += IdealSectorCount(accesses, lc_->spec.sector_bytes);
     t_end = lc_->memsys.Access(block_->sm()->id(), sectors_, /*is_store=*/true,
-                               t, lc_->stats);
+                               t, stats);
   }
   // Lanes updating memory atomically serialize on the atomic unit.
   return t_end + std::uint64_t(lc_->spec.atomic_serialization_cycles) *
                      (group.size() - 1);
 }
 
-std::uint64_t Warp::IssueWorkGroup(std::span<Lane*> group, std::uint64_t t) {
+std::uint64_t Warp::IssueWorkGroup(std::span<Lane*> group, std::uint64_t t,
+                                   LaunchStats& stats) {
   std::uint64_t cycles = 1;
   for (Lane* lane : group) cycles = std::max(cycles, lane->pending.cycles);
   if (const FaultPlan* faults = lc_->config.faults) {
     // Injected slowdown (e.g. modeling a thermally-throttled block).
     cycles *= faults->WorkScale(block_->id());
   }
-  return block_->sm()->IssueCompute(t, cycles, lc_->stats);
+  return block_->sm()->IssueCompute(t, cycles, stats);
 }
 
-std::uint64_t Warp::IssueExternalGroup(std::span<Lane*> group,
-                                       std::uint64_t t) {
+std::uint64_t Warp::IssueExternalGroup(std::span<Lane*> group, std::uint64_t t,
+                                       LaunchStats& stats) {
   // Host calls are serviced sequentially by the host RPC thread.
   std::uint64_t t_end = t;
   for (Lane* lane : group) {
     DeviceOp& op = lane->pending;
     lane->pending_result = (*op.external)();
     t_end += std::max<std::uint64_t>(op.cycles, 1);
-    ++lc_->stats.external_calls;
+    ++stats.external_calls;
   }
   return t_end;
 }
@@ -355,7 +362,9 @@ void Warp::IssueSyncGroup(std::span<Lane*> group, std::uint64_t t) {
   for (Lane* lane : group) {
     Barrier* barrier = lane->pending.barrier;
     lane->pending = DeviceOp{};
-    ++lc_->stats.barrier_arrivals;
+    // Arrivals attribute per lane: with teams packed into one block, lanes
+    // of a sync group can belong to different instances.
+    ++lc_->IssueStats(block_->id(), lane->thread_id).barrier_arrivals;
     barrier->Arrive(lane, t, lc_->engine);
   }
 }

@@ -19,6 +19,7 @@ namespace dgc::sim {
 class Block;
 class Engine;
 struct LaunchContext;
+struct LaunchStats;
 
 class Warp {
  public:
@@ -44,13 +45,19 @@ class Warp {
   /// Issues all pending op groups in program order; returns the final time.
   std::uint64_t ProcessPhase(std::uint64_t now, bool& processed_any);
 
+  // Issue helpers charge their counters to `stats` — the launch-global
+  // LaunchStats, or the owning instance's bucket when profiling is on
+  // (see LaunchContext::IssueStats).
   std::uint64_t IssueMemoryGroup(std::span<Lane*> group, bool is_store,
-                                 std::uint64_t t);
+                                 std::uint64_t t, LaunchStats& stats);
   std::uint64_t IssueBatchGroup(std::span<Lane*> group, std::uint64_t t,
-                                bool is_store);
-  std::uint64_t IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t);
-  std::uint64_t IssueWorkGroup(std::span<Lane*> group, std::uint64_t t);
-  std::uint64_t IssueExternalGroup(std::span<Lane*> group, std::uint64_t t);
+                                bool is_store, LaunchStats& stats);
+  std::uint64_t IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t,
+                                 LaunchStats& stats);
+  std::uint64_t IssueWorkGroup(std::span<Lane*> group, std::uint64_t t,
+                               LaunchStats& stats);
+  std::uint64_t IssueExternalGroup(std::span<Lane*> group, std::uint64_t t,
+                                   LaunchStats& stats);
   void IssueSyncGroup(std::span<Lane*> group, std::uint64_t t);
 
   Block* block_;

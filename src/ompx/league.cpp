@@ -40,6 +40,7 @@ StatusOr<sim::LaunchResult> LaunchTeams(sim::Device& device,
   launch.faults = cfg.faults;
   launch.watchdog_cycles = cfg.watchdog_cycles;
   launch.instance_of = cfg.instance_of;
+  launch.profiler = cfg.profiler;
 
   const std::uint32_t num_teams = cfg.num_teams;
   const std::uint32_t team_size = cfg.thread_limit;

@@ -37,6 +37,9 @@ struct TeamsConfig {
   /// Optional instance attribution for lane-failure messages; installed by
   /// the ensemble loader (see sim::InstanceOfFn).
   sim::InstanceOfFn instance_of;
+  /// Optional launch profiler (gpusim/profiler.h), forwarded to the kernel
+  /// launch; attributes counters per instance through `instance_of`.
+  sim::Profiler* profiler = nullptr;
 };
 
 /// The per-team entry point, run by the team's initial thread only (the

@@ -1,0 +1,204 @@
+#include "support/json.h"
+
+#include <cctype>
+
+#include "support/str.h"
+
+namespace dgc {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += char(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent well-formedness checker. `pos` advances past the
+/// parsed construct; errors carry the byte offset for diagnostics.
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  Status Run() {
+    SkipWs();
+    DGC_RETURN_IF_ERROR(Value(0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the JSON value");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status Error(const std::string& what) const {
+    return Status(ErrorCode::kInvalidArgument,
+                  StrFormat("JSON error at byte %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("invalid literal");
+    }
+    pos_ += word.size();
+    return Status::Ok();
+  }
+
+  Status String() {
+    if (!Eat('"')) return Error("expected '\"'");
+    while (pos_ < text_.size()) {
+      const unsigned char c = (unsigned char)text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c < 0x20) return Error("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Error("truncated escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit((unsigned char)text_[pos_ + i])) {
+              return Error("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return Error("unknown escape");
+        }
+        ++pos_;
+      } else {
+        ++pos_;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status Number() {
+    const std::size_t start = pos_;
+    Eat('-');
+    if (Eat('0')) {
+      // no further digits allowed in the integer part
+    } else {
+      if (pos_ >= text_.size() || !std::isdigit((unsigned char)text_[pos_])) {
+        return Error("expected digit");
+      }
+      while (pos_ < text_.size() && std::isdigit((unsigned char)text_[pos_])) {
+        ++pos_;
+      }
+    }
+    if (Eat('.')) {
+      if (pos_ >= text_.size() || !std::isdigit((unsigned char)text_[pos_])) {
+        return Error("expected fraction digit");
+      }
+      while (pos_ < text_.size() && std::isdigit((unsigned char)text_[pos_])) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit((unsigned char)text_[pos_])) {
+        return Error("expected exponent digit");
+      }
+      while (pos_ < text_.size() && std::isdigit((unsigned char)text_[pos_])) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start) return Error("expected number");
+    return Status::Ok();
+  }
+
+  Status Value(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("expected a value");
+    switch (text_[pos_]) {
+      case '{': return Object(depth);
+      case '[': return Array(depth);
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  Status Object(int depth) {
+    Eat('{');
+    SkipWs();
+    if (Eat('}')) return Status::Ok();
+    while (true) {
+      SkipWs();
+      DGC_RETURN_IF_ERROR(String());
+      SkipWs();
+      if (!Eat(':')) return Error("expected ':'");
+      SkipWs();
+      DGC_RETURN_IF_ERROR(Value(depth + 1));
+      SkipWs();
+      if (Eat('}')) return Status::Ok();
+      if (!Eat(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  Status Array(int depth) {
+    Eat('[');
+    SkipWs();
+    if (Eat(']')) return Status::Ok();
+    while (true) {
+      SkipWs();
+      DGC_RETURN_IF_ERROR(Value(depth + 1));
+      SkipWs();
+      if (Eat(']')) return Status::Ok();
+      if (!Eat(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status JsonValidate(std::string_view text) { return Validator(text).Run(); }
+
+}  // namespace dgc

@@ -1,0 +1,24 @@
+// Minimal JSON utilities for the machine-readable exporters (metrics,
+// Chrome traces): string escaping for the writers and a strict validator
+// used by tests and smoke checks. This is intentionally not a DOM — the
+// exporters emit documents with a fixed, schema-documented field order, so
+// all we need is to escape correctly and to prove the output parses.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/status.h"
+
+namespace dgc {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes are NOT
+/// added): ", \, and control characters become their escape sequences.
+std::string JsonEscape(std::string_view s);
+
+/// Strict RFC 8259 well-formedness check of a complete JSON document
+/// (one value, nothing but whitespace after it). Returns the first error
+/// with its byte offset. Does not build a tree; O(n) and allocation-free.
+Status JsonValidate(std::string_view text);
+
+}  // namespace dgc

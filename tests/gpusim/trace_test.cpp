@@ -7,6 +7,7 @@
 
 #include "gpusim/ctx.h"
 #include "gpusim/device.h"
+#include "support/json.h"
 
 namespace dgc::sim {
 namespace {
@@ -112,6 +113,51 @@ TEST(Trace, WriteChromeJsonRoundTrip) {
   EXPECT_EQ(content, trace.ToChromeJson());
   std::remove(path.c_str());
   EXPECT_FALSE(trace.WriteChromeJson("/nonexistent/t.json").ok());
+}
+
+TEST(Trace, ChromeJsonIsStrictlyValid) {
+  Trace trace;
+  RunTraced(&trace);
+  const std::string json = trace.ToChromeJson();
+  const Status valid = dgc::JsonValidate(json);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  // Field order is part of the export contract (diffs stay readable).
+  EXPECT_NE(
+      json.find(R"("ph":"X","ts":)"), std::string::npos);
+  const std::size_t name = json.find("\"name\":");
+  const std::size_t args = json.find("\"args\":{\"wave\":");
+  ASSERT_NE(name, std::string::npos);
+  ASSERT_NE(args, std::string::npos);
+  EXPECT_LT(name, args);
+  // An empty trace is still a valid (empty-array) document.
+  EXPECT_TRUE(dgc::JsonValidate(Trace().ToChromeJson()).ok());
+}
+
+TEST(Trace, WavesTagEventsAndSeparateRows) {
+  Trace trace;
+  RunTraced(&trace);
+  EXPECT_EQ(trace.current_wave(), 0u);
+  for (const TraceEvent& e : trace.events()) EXPECT_EQ(e.wave, 0u);
+  const std::size_t wave0_events = trace.events().size();
+
+  trace.BeginWave();  // what the ensemble loader does before a retry wave
+  EXPECT_EQ(trace.current_wave(), 1u);
+  RunTraced(&trace);
+  ASSERT_GT(trace.events().size(), wave0_events);
+  for (std::size_t i = wave0_events; i < trace.events().size(); ++i) {
+    EXPECT_EQ(trace.events()[i].wave, 1u);
+  }
+
+  // Same block/warp, different wave → different Perfetto row (tid).
+  const std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(dgc::JsonValidate(json).ok());
+  EXPECT_NE(json.find(R"("tid":0,"args":{"wave":0,"block":0,"warp":0)"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("tid":1000000,"args":{"wave":1,"block":0,"warp":0)"),
+            std::string::npos);
+
+  trace.Clear();
+  EXPECT_EQ(trace.current_wave(), 0u);
 }
 
 TEST(Trace, KindNamesAreDistinct) {

@@ -1,0 +1,68 @@
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+namespace dgc {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("xsbench"), "xsbench");
+  EXPECT_EQ(JsonEscape(""), "");
+  EXPECT_EQ(JsonEscape("a b-c_d/e.f"), "a b-c_d/e.f");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("C:\\tmp"), "C:\\\\tmp");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(JsonEscape("\x01"), "\\u0001");
+}
+
+TEST(JsonEscape, EscapedStringsValidateInsideADocument) {
+  const std::string doc =
+      "{\"k\": \"" + JsonEscape("tricky \"\\\n\x02 value") + "\"}";
+  EXPECT_TRUE(JsonValidate(doc).ok());
+}
+
+TEST(JsonValidate, AcceptsWellFormedDocuments) {
+  EXPECT_TRUE(JsonValidate("{}").ok());
+  EXPECT_TRUE(JsonValidate("[]").ok());
+  EXPECT_TRUE(JsonValidate("null").ok());
+  EXPECT_TRUE(JsonValidate("-12.5e+3").ok());
+  EXPECT_TRUE(JsonValidate(R"({"a": [1, 2.0, true, false, null],
+                               "b": {"c": "d"}})")
+                  .ok());
+}
+
+TEST(JsonValidate, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValidate("").ok());
+  EXPECT_FALSE(JsonValidate("{").ok());
+  EXPECT_FALSE(JsonValidate("[1,]").ok());
+  EXPECT_FALSE(JsonValidate("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValidate("{'a': 1}").ok());
+  EXPECT_FALSE(JsonValidate("01").ok());     // no leading zeros
+  EXPECT_FALSE(JsonValidate("1.").ok());     // digit required after '.'
+  EXPECT_FALSE(JsonValidate("nul").ok());
+  EXPECT_FALSE(JsonValidate("{} {}").ok());  // one value per document
+  EXPECT_FALSE(JsonValidate("\"a\nb\"").ok());  // raw control char
+  EXPECT_FALSE(JsonValidate("\"\\x41\"").ok());  // bad escape
+}
+
+TEST(JsonValidate, ReportsByteOffsets) {
+  const Status s = JsonValidate("[1, 2, x]");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("byte 7"), std::string::npos) << s.ToString();
+}
+
+TEST(JsonValidate, BoundsNestingDepth) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonValidate(deep).ok());
+  std::string fine(100, '[');
+  fine += std::string(100, ']');
+  EXPECT_TRUE(JsonValidate(fine).ok());
+}
+
+}  // namespace
+}  // namespace dgc

@@ -20,8 +20,10 @@
 #include "ensemble/argscript.h"
 #include "ensemble/experiment.h"
 #include "ensemble/loader.h"
+#include "ensemble/metrics.h"
 #include "gpusim/device.h"
 #include "gpusim/memcheck.h"
+#include "gpusim/profiler.h"
 #include "gpusim/trace.h"
 #include "support/argparse.h"
 #include "support/str.h"
@@ -91,6 +93,58 @@ void PrintOutcome(const dgcf::RunResult& run, const sim::DeviceSpec& spec,
   }
 }
 
+/// Finds a `-x <value>` / `--long <value>` integer among the loader args
+/// (the tool does not re-parse them; it only needs a couple of values for
+/// the metrics header). Returns `fallback` when absent or malformed.
+std::int64_t PeekLoaderInt(const std::vector<std::string>& loader_args,
+                           const std::string& short_flag,
+                           const std::string& long_flag,
+                           std::int64_t fallback) {
+  for (std::size_t i = 0; i + 1 < loader_args.size(); ++i) {
+    if (loader_args[i] == short_flag || loader_args[i] == long_flag) {
+      auto v = ParseInt(loader_args[i + 1]);
+      if (v.ok()) return *v;
+    }
+  }
+  return fallback;
+}
+
+/// --profile: human-readable per-instance summary plus the timeline's peak
+/// DRAM bandwidth occupancy (the §4.3 saturation signal at a glance).
+void PrintProfile(const dgcf::RunResult& run, const sim::Profiler& profiler) {
+  std::printf("\nprofile: per-instance counters\n");
+  std::printf("%9s %12s %12s %12s %10s %10s %10s\n", "instance", "cycles",
+              "instr", "dram-bytes", "dram-q", "l2-q", "barrier");
+  for (const sim::InstanceStats& entry : run.instance_stats) {
+    const sim::LaunchStats& s = entry.stats;
+    if (entry.instance < 0 && s.warp_instructions == 0 && s.dram_bytes == 0) {
+      continue;  // nothing landed in the unattributed slot; skip the row
+    }
+    std::printf("%9s %12s %12s %12s %10s %10s %10s\n",
+                entry.instance < 0
+                    ? "(none)"
+                    : StrFormat("%d", entry.instance).c_str(),
+                FormatCount(s.elapsed_cycles).c_str(),
+                FormatCount(s.warp_instructions).c_str(),
+                FormatBytes(s.dram_bytes).c_str(),
+                FormatCount(s.dram_queue_cycles).c_str(),
+                FormatCount(s.l2_queue_cycles).c_str(),
+                FormatCount(s.barrier_stall_cycles).c_str());
+  }
+  double peak_dram = 0.0, peak_l2 = 0.0;
+  for (const sim::TimelineSample& s : profiler.timeline()) {
+    peak_dram = std::max(peak_dram, s.dram_bw_occupancy);
+    peak_l2 = std::max(peak_l2, s.l2_bw_occupancy);
+  }
+  std::printf("timeline: %zu sample(s)", profiler.timeline().size());
+  if (profiler.dropped_samples() != 0) {
+    std::printf(" (%llu dropped)",
+                (unsigned long long)profiler.dropped_samples());
+  }
+  std::printf(", peak DRAM bw occupancy %.2f, peak L2 bw occupancy %.2f\n",
+              peak_dram, peak_l2);
+}
+
 /// --sweep mode: the Fig. 6 methodology from the command line. Runs the app
 /// at each instance count (first must be 1 — it defines T1) on a fresh
 /// device per point, `jobs` points concurrently, and prints the paper-style
@@ -98,7 +152,9 @@ void PrintOutcome(const dgcf::RunResult& run, const sim::DeviceSpec& spec,
 int RunSweepMode(const std::string& app,
                  const std::vector<std::string>& loader_args,
                  const std::vector<std::uint32_t>& counts, std::uint32_t jobs,
-                 const std::string& csv_path, const sim::DeviceSpec& spec) {
+                 const std::string& csv_path, const sim::DeviceSpec& spec,
+                 bool profile, const std::string& metrics_prefix,
+                 std::uint64_t profile_interval) {
   std::string file;
   std::int64_t threads = 1024, per_block = 1, seed = 0;
   bool script = false;
@@ -170,6 +226,8 @@ int RunSweepMode(const std::string& app,
   cfg.instance_watchdog_cycles = std::uint64_t(instance_watchdog);
   cfg.max_attempts = std::uint32_t(retry);
   cfg.retry_shrink = std::uint32_t(retry_shrink);
+  cfg.profile = profile || !metrics_prefix.empty();
+  cfg.profile_interval = profile_interval;
 
   ensemble::SweepOptions options;
   options.jobs = jobs;
@@ -201,6 +259,23 @@ int RunSweepMode(const std::string& app,
       return 2;
     }
     std::printf("csv written: %s\n", csv_path.c_str());
+  }
+  if (!metrics_prefix.empty()) {
+    // One sidecar per measured point. The documents come straight from the
+    // sweep's pre-assigned slots, so they are byte-identical for any --jobs.
+    for (const ensemble::SpeedupPoint& p : series->points) {
+      if (!p.ran || p.metrics_json.empty()) continue;
+      const std::string path =
+          StrFormat("%s.n%u.json", metrics_prefix.c_str(), p.instances);
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "metrics export failed: cannot write %s\n",
+                     path.c_str());
+        return 2;
+      }
+      out << p.metrics_json;
+      std::printf("metrics written: %s\n", path.c_str());
+    }
   }
   return 0;
 }
@@ -242,6 +317,13 @@ int main(int argc, char** argv) {
         "  --trace <path> write a chrome://tracing JSON of the kernel\n"
         "  --trace-capacity <n>  max trace events kept (default 1048576);\n"
         "                 overflow is dropped and reported\n"
+        "  --profile      per-instance counter attribution + utilization\n"
+        "                 timeline, printed as a table\n"
+        "  --metrics-json <path>  write the dgc-metrics-v1 JSON document\n"
+        "                 (implies profiling); with --sweep, <path> is a\n"
+        "                 prefix — one <path>.n<count>.json per point\n"
+        "  --profile-interval <cycles>  timeline sample interval\n"
+        "                 (default 8192)\n"
         "  --sweep <n1,n2,...>  Fig. 6 mode: measure speedup at each\n"
         "                 instance count (first must be 1) instead of one\n"
         "                 run; prints the paper-style table\n"
@@ -259,12 +341,15 @@ int main(int argc, char** argv) {
   std::string device_name = "a100";
   std::string trace_path;
   std::string csv_path;
+  std::string metrics_path;
   std::int64_t memory_scale = 512;
   std::int64_t trace_capacity = 1 << 20;
+  std::int64_t profile_interval = 0;
   std::uint32_t jobs = ThreadPool::DefaultThreads();
   std::vector<std::uint32_t> sweep_counts;
   bool stats = false;
   bool memcheck_on = false;
+  bool profile = false;
   std::vector<std::string> loader_args;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--device" && i + 1 < args.size()) {
@@ -303,10 +388,21 @@ int main(int argc, char** argv) {
       }
     } else if (args[i] == "--csv" && i + 1 < args.size()) {
       csv_path = args[++i];
+    } else if (args[i] == "--metrics-json" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+    } else if (args[i] == "--profile-interval" && i + 1 < args.size()) {
+      auto v = ParseInt(args[++i]);
+      if (!v.ok() || *v <= 0) {
+        std::fprintf(stderr, "bad --profile-interval\n");
+        return 2;
+      }
+      profile_interval = *v;
     } else if (args[i] == "--stats") {
       stats = true;
     } else if (args[i] == "--memcheck") {
       memcheck_on = true;
+    } else if (args[i] == "--profile") {
+      profile = true;
     } else {
       loader_args.push_back(args[i]);
     }
@@ -318,7 +414,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!sweep_counts.empty()) {
-    return RunSweepMode(app, loader_args, sweep_counts, jobs, csv_path, *spec);
+    return RunSweepMode(app, loader_args, sweep_counts, jobs, csv_path, *spec,
+                        profile, metrics_path,
+                        std::uint64_t(profile_interval));
   }
   sim::Device device(*spec);
   dgcf::RpcHost rpc(device);
@@ -328,25 +426,52 @@ int main(int argc, char** argv) {
   sim::Trace trace{std::size_t(trace_capacity)};
   sim::Memcheck memcheck;
   if (memcheck_on) memcheck.Attach(device.memory());
+  const bool profiling = profile || !metrics_path.empty();
+  sim::Profiler::Options profiler_options;
+  if (profile_interval != 0) {
+    profiler_options.sample_interval = std::uint64_t(profile_interval);
+  }
+  sim::Profiler profiler(profiler_options);
   auto run = ensemble::RunEnsembleCli(env, app, loader_args,
                                       trace_path.empty() ? nullptr : &trace,
-                                      memcheck_on ? &memcheck : nullptr);
+                                      memcheck_on ? &memcheck : nullptr,
+                                      profiling ? &profiler : nullptr);
   if (!run.ok()) {
     std::fprintf(stderr, "dgc-run: %s\n", run.status().ToString().c_str());
     return 2;
   }
   PrintOutcome(*run, device.spec(), rpc, libc, stats, memcheck_on);
+  if (profile) PrintProfile(*run, profiler);
+  if (!metrics_path.empty()) {
+    ensemble::MetricsInfo info;
+    info.app = app;
+    info.device = spec->name;
+    info.thread_limit = std::uint32_t(
+        PeekLoaderInt(loader_args, "-t", "--thread-limit", 1024));
+    info.instances = std::uint32_t(run->instances.size());
+    info.teams_per_block = std::uint32_t(
+        PeekLoaderInt(loader_args, "-m", "--teams-per-block", 1));
+    const Status s =
+        ensemble::WriteMetricsJson(metrics_path, info, *run, &profiler);
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   s.ToString().c_str());
+      return 2;
+    }
+    std::printf("metrics written: %s\n", metrics_path.c_str());
+  }
   if (!trace_path.empty()) {
     const Status s = trace.WriteChromeJson(trace_path);
     if (!s.ok()) {
       std::fprintf(stderr, "trace export failed: %s\n", s.ToString().c_str());
       return 2;
     }
-    std::printf("trace written: %s (%zu events)\n", trace_path.c_str(),
-                trace.events().size());
+    // The dropped count is part of the summary line: a capacity-truncated
+    // export must not read as a complete timeline.
+    std::printf("trace written: %s (%zu events, %llu dropped)\n",
+                trace_path.c_str(), trace.events().size(),
+                (unsigned long long)trace.dropped());
     if (trace.dropped() > 0) {
-      // A capacity-truncated export would otherwise read as a complete
-      // timeline in chrome://tracing.
       std::fprintf(stderr,
                    "warning: trace capacity reached — %llu event(s) dropped; "
                    "the exported timeline is incomplete (raise "
