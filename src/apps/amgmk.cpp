@@ -227,22 +227,55 @@ DeviceTask<int> AmgUserMain(AppEnv& env, ompx::TeamCtx& team, int argc,
   const std::uint64_t rows = params.rows();
 
   const AmgData data = GenerateAmgData(params);
-  const sim::DeviceBuffer buffers[] = {
-      co_await env.libc->Malloc(ctx,
-                                data.row_ptr.size() * sizeof(std::uint32_t)),
-      co_await env.libc->Malloc(ctx, data.col.size() * sizeof(std::int32_t)),
-      co_await env.libc->Malloc(ctx, data.val.size() * sizeof(double)),
-      co_await env.libc->Malloc(ctx, rows * sizeof(double)),  // diag
-      co_await env.libc->Malloc(ctx, rows * sizeof(double)),  // u
-      co_await env.libc->Malloc(ctx, rows * sizeof(double)),  // v
-      co_await env.libc->Malloc(ctx, rows * sizeof(double)),  // f
+  const std::uint64_t sizes[7] = {
+      data.row_ptr.size() * sizeof(std::uint32_t),
+      data.col.size() * sizeof(std::int32_t),
+      data.val.size() * sizeof(double),
+      rows * sizeof(double),  // diag
+      rows * sizeof(double),  // u
+      rows * sizeof(double),  // v
+      rows * sizeof(double),  // f
   };
-  for (const auto& b : buffers) {
-    if (b.host == nullptr) {
-      for (const auto& f : buffers) {
-        if (f.host != nullptr) co_await env.libc->Free(ctx, f.addr);
+  std::vector<sim::DeviceBuffer> buffers(7);
+  bool fill_inputs = true;
+  if (env.share_data) {
+    // The matrix (row_ptr/col/val/diag) and rhs f are read-only input; the
+    // ping-pong vectors u and v are written every sweep and stay private
+    // (u is also seed data, so every instance fills its own copy).
+    const std::uint64_t key = SharedContentKey(
+        "amgmk", {params.nx, params.ny, params.nz, params.seed});
+    const std::vector<std::uint64_t> ro_sizes{sizes[0], sizes[1], sizes[2],
+                                              sizes[3], sizes[6]};
+    auto group = co_await env.libc->AcquireSharedGroup(ctx, key, ro_sizes,
+                                                       "amgmk");
+    if (!group.ok) co_return dgcf::kExitNoMem;
+    for (int b = 0; b < 4; ++b) buffers[b] = group.buffers[std::size_t(b)];
+    buffers[6] = group.buffers[4];
+    fill_inputs = group.first;
+    bool oom = false;
+    for (int b = 4; b < 6; ++b) {
+      buffers[b] = co_await env.libc->Malloc(ctx, sizes[b]);
+      if (buffers[b].host == nullptr) oom = true;
+    }
+    if (oom) {
+      for (int b = 0; b < 7; ++b) {
+        if (buffers[b].host != nullptr) {
+          co_await env.libc->Free(ctx, buffers[b].addr);
+        }
       }
       co_return dgcf::kExitNoMem;
+    }
+  } else {
+    for (int b = 0; b < 7; ++b) {
+      buffers[b] = co_await env.libc->Malloc(ctx, sizes[b]);
+    }
+    for (const auto& b : buffers) {
+      if (b.host == nullptr) {
+        for (const auto& f : buffers) {
+          if (f.host != nullptr) co_await env.libc->Free(ctx, f.addr);
+        }
+        co_return dgcf::kExitNoMem;
+      }
     }
   }
 
@@ -256,13 +289,20 @@ DeviceTask<int> AmgUserMain(AppEnv& env, ompx::TeamCtx& team, int argc,
   view.v = buffers[5].Typed<double>();
   view.f = buffers[6].Typed<double>();
 
-  std::copy(data.row_ptr.begin(), data.row_ptr.end(), view.row_ptr.host);
-  std::copy(data.col.begin(), data.col.end(), view.col.host);
-  std::copy(data.val.begin(), data.val.end(), view.val.host);
-  std::copy(data.diag.begin(), data.diag.end(), view.diag.host);
+  if (fill_inputs) {
+    std::copy(data.row_ptr.begin(), data.row_ptr.end(), view.row_ptr.host);
+    std::copy(data.col.begin(), data.col.end(), view.col.host);
+    std::copy(data.val.begin(), data.val.end(), view.val.host);
+    std::copy(data.diag.begin(), data.diag.end(), view.diag.host);
+    std::copy(data.f.begin(), data.f.end(), view.f.host);
+  }
+  // u is per-instance seed state even in shared mode.
   std::copy(data.u.begin(), data.u.end(), view.u.host);
-  std::copy(data.f.begin(), data.f.end(), view.f.host);
-  co_await ctx.Work(params.DeviceBytes() / 64);
+  if (fill_inputs) {
+    co_await ctx.Work(params.DeviceBytes() / 64);
+  } else {
+    co_await ctx.Work((sizes[4] + sizes[5]) / 64);
+  }
 
   // The measured kernel: `sweeps` relaxations, ping-ponging u and v.
   DevicePtr<double> u_in = view.u, u_out = view.v;

@@ -33,6 +33,14 @@ std::uint64_t HashCombine(std::uint64_t h, std::uint64_t v) {
   return h;
 }
 
+std::uint64_t SharedContentKey(std::string_view app,
+                               std::initializer_list<std::uint64_t> fields) {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : app) h = HashCombine(h, std::uint64_t(std::uint8_t(c)));
+  for (const std::uint64_t f : fields) h = HashCombine(h, f);
+  return h;
+}
+
 void RegisterAllApps() {
   RegisterXsbench();
   RegisterRsbench();

@@ -184,20 +184,51 @@ DeviceTask<int> PrUserMain(AppEnv& env, ompx::TeamCtx& team, int argc,
   const std::uint64_t n = params.n_nodes;
 
   const PrData data = GeneratePrData(params);
-  const sim::DeviceBuffer buffers[] = {
-      co_await env.libc->Malloc(ctx,
-                                data.row_ptr.size() * sizeof(std::uint32_t)),
-      co_await env.libc->Malloc(ctx, data.src.size() * sizeof(std::uint32_t)),
-      co_await env.libc->Malloc(ctx, n * sizeof(std::uint32_t)),
-      co_await env.libc->Malloc(ctx, n * sizeof(double)),
-      co_await env.libc->Malloc(ctx, n * sizeof(double)),
+  const std::uint64_t sizes[5] = {
+      data.row_ptr.size() * sizeof(std::uint32_t),
+      data.src.size() * sizeof(std::uint32_t),
+      n * sizeof(std::uint32_t),
+      n * sizeof(double),
+      n * sizeof(double),
   };
-  for (const auto& b : buffers) {
-    if (b.host == nullptr) {
-      for (const auto& f : buffers) {
-        if (f.host != nullptr) co_await env.libc->Free(ctx, f.addr);
+  std::vector<sim::DeviceBuffer> buffers(5);
+  bool fill_inputs = true;
+  if (env.share_data) {
+    // The graph (CSR row_ptr/src/out_degree) is read-only input; the rank
+    // ping-pong buffers are written every iteration and stay per-instance.
+    const std::uint64_t key = SharedContentKey(
+        "pagerank", {std::uint64_t(params.n_nodes), params.avg_degree,
+                     params.seed});
+    const std::vector<std::uint64_t> ro_sizes(sizes, sizes + 3);
+    auto group = co_await env.libc->AcquireSharedGroup(ctx, key, ro_sizes,
+                                                       "pagerank");
+    if (!group.ok) co_return dgcf::kExitNoMem;
+    for (int b = 0; b < 3; ++b) buffers[b] = group.buffers[std::size_t(b)];
+    fill_inputs = group.first;
+    bool oom = false;
+    for (int b = 3; b < 5; ++b) {
+      buffers[b] = co_await env.libc->Malloc(ctx, sizes[b]);
+      if (buffers[b].host == nullptr) oom = true;
+    }
+    if (oom) {
+      for (int b = 0; b < 5; ++b) {
+        if (buffers[b].host != nullptr) {
+          co_await env.libc->Free(ctx, buffers[b].addr);
+        }
       }
       co_return dgcf::kExitNoMem;
+    }
+  } else {
+    for (int b = 0; b < 5; ++b) {
+      buffers[b] = co_await env.libc->Malloc(ctx, sizes[b]);
+    }
+    for (const auto& b : buffers) {
+      if (b.host == nullptr) {
+        for (const auto& f : buffers) {
+          if (f.host != nullptr) co_await env.libc->Free(ctx, f.addr);
+        }
+        co_return dgcf::kExitNoMem;
+      }
     }
   }
 
@@ -209,12 +240,20 @@ DeviceTask<int> PrUserMain(AppEnv& env, ompx::TeamCtx& team, int argc,
   view.rank_in = buffers[3].Typed<double>();
   view.rank_out = buffers[4].Typed<double>();
 
-  std::copy(data.row_ptr.begin(), data.row_ptr.end(), view.row_ptr.host);
-  std::copy(data.src.begin(), data.src.end(), view.src.host);
-  std::copy(data.out_degree.begin(), data.out_degree.end(),
-            view.out_degree.host);
+  if (fill_inputs) {
+    std::copy(data.row_ptr.begin(), data.row_ptr.end(), view.row_ptr.host);
+    std::copy(data.src.begin(), data.src.end(), view.src.host);
+    std::copy(data.out_degree.begin(), data.out_degree.end(),
+              view.out_degree.host);
+  }
+  // The rank seed is per-instance state (the ping-pong buffers are private
+  // even in shared mode), so every instance fills it.
   std::copy(data.rank.begin(), data.rank.end(), view.rank_in.host);
-  co_await ctx.Work(params.DeviceBytes() / 64);
+  if (fill_inputs) {
+    co_await ctx.Work(params.DeviceBytes() / 64);
+  } else {
+    co_await ctx.Work((sizes[3] + sizes[4]) / 64);
+  }
 
   DevicePtr<double> rank_in = view.rank_in, rank_out = view.rank_out;
   for (std::uint32_t it = 0; it < params.iterations; ++it) {

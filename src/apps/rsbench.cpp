@@ -240,23 +240,46 @@ DeviceTask<int> RsUserMain(AppEnv& env, ompx::TeamCtx& team, int argc,
   ThreadCtx& ctx = *team.hw;
 
   const RsData data = GenerateRsData(params);
-  const sim::DeviceBuffer buffers[] = {
-      co_await env.libc->Malloc(ctx, data.poles.size() * sizeof(double)),
-      co_await env.libc->Malloc(ctx, data.fits.size() * sizeof(double)),
-      co_await env.libc->Malloc(ctx,
-                                data.mat_offset.size() * sizeof(std::uint32_t)),
-      co_await env.libc->Malloc(
-          ctx, data.mat_nuclide.size() * sizeof(std::uint32_t)),
-      co_await env.libc->Malloc(ctx, data.mat_density.size() * sizeof(double)),
-      co_await env.libc->Malloc(ctx,
-                                params.n_lookups * sizeof(std::uint64_t)),
+  const std::uint64_t sizes[6] = {
+      data.poles.size() * sizeof(double),
+      data.fits.size() * sizeof(double),
+      data.mat_offset.size() * sizeof(std::uint32_t),
+      data.mat_nuclide.size() * sizeof(std::uint32_t),
+      data.mat_density.size() * sizeof(double),
+      params.n_lookups * sizeof(std::uint64_t),
   };
-  for (const auto& b : buffers) {
-    if (b.host == nullptr) {
-      for (const auto& f : buffers) {
+  std::vector<sim::DeviceBuffer> buffers(6);
+  bool fill_inputs = true;
+  if (env.share_data) {
+    // Poles, fits, and material tables are read-only input; only the result
+    // buffer (buffers[5]) stays per-instance.
+    const std::uint64_t key = SharedContentKey(
+        "rsbench", {params.n_nuclides, params.n_windows,
+                    params.poles_per_window, params.n_materials, params.seed});
+    const std::vector<std::uint64_t> ro_sizes(sizes, sizes + 5);
+    auto group = co_await env.libc->AcquireSharedGroup(ctx, key, ro_sizes,
+                                                       "rsbench");
+    if (!group.ok) co_return dgcf::kExitNoMem;
+    for (int b = 0; b < 5; ++b) buffers[b] = group.buffers[std::size_t(b)];
+    fill_inputs = group.first;
+    buffers[5] = co_await env.libc->Malloc(ctx, sizes[5]);
+    if (buffers[5].host == nullptr) {
+      for (const auto& f : group.buffers) {
         if (f.host != nullptr) co_await env.libc->Free(ctx, f.addr);
       }
       co_return dgcf::kExitNoMem;
+    }
+  } else {
+    for (int b = 0; b < 6; ++b) {
+      buffers[b] = co_await env.libc->Malloc(ctx, sizes[b]);
+    }
+    for (const auto& b : buffers) {
+      if (b.host == nullptr) {
+        for (const auto& f : buffers) {
+          if (f.host != nullptr) co_await env.libc->Free(ctx, f.addr);
+        }
+        co_return dgcf::kExitNoMem;
+      }
     }
   }
 
@@ -269,14 +292,19 @@ DeviceTask<int> RsUserMain(AppEnv& env, ompx::TeamCtx& team, int argc,
   v.mat_density = buffers[4].Typed<double>();
   v.out = buffers[5].Typed<std::uint64_t>();
 
-  std::copy(data.poles.begin(), data.poles.end(), v.poles.host);
-  std::copy(data.fits.begin(), data.fits.end(), v.fits.host);
-  std::copy(data.mat_offset.begin(), data.mat_offset.end(), v.mat_offset.host);
-  std::copy(data.mat_nuclide.begin(), data.mat_nuclide.end(),
-            v.mat_nuclide.host);
-  std::copy(data.mat_density.begin(), data.mat_density.end(),
-            v.mat_density.host);
-  co_await ctx.Work(params.DeviceBytes() / 64);
+  if (fill_inputs) {
+    std::copy(data.poles.begin(), data.poles.end(), v.poles.host);
+    std::copy(data.fits.begin(), data.fits.end(), v.fits.host);
+    std::copy(data.mat_offset.begin(), data.mat_offset.end(),
+              v.mat_offset.host);
+    std::copy(data.mat_nuclide.begin(), data.mat_nuclide.end(),
+              v.mat_nuclide.host);
+    std::copy(data.mat_density.begin(), data.mat_density.end(),
+              v.mat_density.host);
+    co_await ctx.Work(params.DeviceBytes() / 64);
+  } else {
+    co_await ctx.Work(sizes[5] / 64);
+  }
 
   co_await ompx::ParallelFor(
       team, params.n_lookups,

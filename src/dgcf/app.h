@@ -40,6 +40,11 @@ struct AppEnv {
   sim::Device* device = nullptr;
   RpcHost* rpc = nullptr;
   DeviceLibc* libc = nullptr;
+  /// When true, apps place their initialized read-only inputs in
+  /// content-keyed shared segments (DeviceLibc::AcquireSharedGroup) so
+  /// identical instances map one physical copy. Off by default: the
+  /// duplicated layout is the paper's baseline.
+  bool share_data = false;
 };
 
 /// The canonicalized `__user_main`: runs on the team's initial thread; uses

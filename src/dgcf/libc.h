@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "gpusim/ctx.h"
 #include "gpusim/device.h"
@@ -53,6 +54,25 @@ class DeviceLibc {
   /// assert(3) failure path: formats `expr` at file:line into the trap
   /// message and aborts the instance.
   static void AssertFail(const char* expr, const char* file, int line);
+
+  /// Result of AcquireSharedGroup: one buffer per requested size (null for
+  /// zero sizes), plus whether this instance materialized the group and must
+  /// fill it. `ok == false` means out of memory — nothing is held.
+  struct SharedGroup {
+    std::vector<sim::DeviceBuffer> buffers;
+    bool first = false;
+    bool ok = false;
+  };
+
+  /// Acquires a group of content-keyed shared read-only segments in one
+  /// atomic step (no suspension between the per-array acquires, so `first`
+  /// is uniform across the group). The i-th array's key is derived from
+  /// `content_key` and its ordinal. Charges one heap operation per array.
+  /// On partial OOM every acquired segment is released and ok is false.
+  /// Each buffer is released with an ordinary Free (reference-counted).
+  sim::DeviceTask<SharedGroup> AcquireSharedGroup(
+      sim::ThreadCtx& ctx, std::uint64_t content_key,
+      const std::vector<std::uint64_t>& sizes, const char* label);
 
   /// Device-side free. free(NULL) is a free no-op, like C; freeing an
   /// unknown address is ignored functionally but counted (and is a

@@ -2,6 +2,7 @@
 
 #include "dgcf/argv.h"
 #include "gpusim/device.h"
+#include "gpusim/lane.h"
 #include "gpusim/profiler.h"
 #include "ompx/league.h"
 #include "support/str.h"
@@ -42,6 +43,11 @@ StatusOr<RunResult> RunSingleInstance(AppEnv& env,
     options.memcheck->Attach(env.device->memory());
     options.memcheck->SetTeamInstance(0, 0);
   }
+  env.share_data = options.share_data;
+  // Attribute device allocations: everything issued from a lane belongs to
+  // the single instance; host-side setup stays unattributed (-1).
+  env.device->memory().set_instance_resolver(
+      [] { return sim::CurrentLane() != nullptr ? 0 : -1; });
 
   std::vector<std::string> argv_row;
   argv_row.reserve(options.args.size() + 1);
@@ -116,6 +122,13 @@ StatusOr<RunResult> RunSingleInstance(AppEnv& env,
     options.profiler->SetInstanceElapsed(0, inst.cycles);
     run.instance_stats = options.profiler->instances();
   }
+  run.device_mem = env.device->memory().Snapshot();
+  const auto& owner_stats = env.device->memory().owner_stats();
+  if (auto it = owner_stats.find(0); it != owner_stats.end()) {
+    inst.mem_peak_bytes = it->second.peak_bytes;
+    inst.mem_allocations = it->second.total_allocations;
+  }
+  env.device->memory().set_instance_resolver(nullptr);
   return run;
 }
 

@@ -57,6 +57,11 @@ struct InstanceResult {
   std::uint64_t cycles = 0;
   /// Launch waves that ran (or started) this instance; > 1 after a retry.
   std::uint32_t attempts = 0;
+  /// Device-memory peak and allocation count attributed to this instance
+  /// (from DeviceMemory's per-owner accounting; shared-segment bytes are
+  /// charged to the materializing instance only).
+  std::uint64_t mem_peak_bytes = 0;
+  std::uint64_t mem_allocations = 0;
 };
 
 /// Outcome of a loader run (single instance or ensemble).
@@ -77,6 +82,9 @@ struct RunResult {
   /// otherwise): entry 0 is the unattributed slot (instance -1), then one
   /// entry per instance in id order. See gpusim/profiler.h.
   std::vector<sim::InstanceStats> instance_stats;
+  /// Device-memory counters at the end of the run (peak is the high-water
+  /// mark over the whole run).
+  sim::DeviceMemSnapshot device_mem;
 
   std::uint64_t total_cycles() const { return kernel_cycles + transfer_cycles; }
   /// True when every instance completed with exit code 0. An empty
@@ -107,6 +115,10 @@ struct SingleRunOptions {
   /// Optional launch profiler (gpusim/profiler.h); null = off. When set,
   /// the run fills RunResult::instance_stats from it.
   sim::Profiler* profiler = nullptr;
+  /// Share content-identical read-only inputs across instances
+  /// (AppEnv::share_data). Moot for a single instance but honored, so T1
+  /// baselines measure the same code path as the ensemble.
+  bool share_data = false;
 };
 
 /// Runs one instance on one team, as the original framework does.

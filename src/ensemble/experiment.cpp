@@ -53,6 +53,7 @@ Status RunPoint(const ExperimentConfig& config, std::uint32_t n,
   options.instance_watchdog_cycles = config.instance_watchdog_cycles;
   options.max_attempts = config.max_attempts;
   options.retry_shrink = config.retry_shrink;
+  options.share_data = config.share_data;
 
   // Profiling is point-local (like the device): the profiler only observes
   // this simulation, so sidecars cannot depend on job scheduling.
@@ -105,6 +106,8 @@ Status RunPoint(const ExperimentConfig& config, std::uint32_t n,
   point.ran = true;
   point.cycles = run->kernel_cycles;
   point.stats = run->stats;
+  point.peak_mem_bytes = run->device_mem.peak_bytes;
+  point.shared_bytes_saved = run->device_mem.shared_bytes_saved;
   if (config.profile) {
     MetricsInfo info;
     info.app = config.app;

@@ -47,6 +47,11 @@ struct ExperimentConfig {
   bool profile = false;
   /// Timeline sample interval when profiling; 0 = the Profiler default.
   std::uint64_t profile_interval = 0;
+  /// Share read-only input segments across instances with identical
+  /// workloads (EnsembleOptions::share_data). Off by default so existing
+  /// harness binaries (fig6a/fig6b) keep the duplicated per-instance
+  /// layout byte-for-byte.
+  bool share_data = false;
 };
 
 /// Progress of one sweep point, reported as it starts and finishes so long
@@ -82,6 +87,11 @@ struct SpeedupPoint {
   std::uint64_t cycles = 0;  ///< TN, kernel execution cycles
   double speedup = 0.0;      ///< T1 · N / TN
   sim::LaunchStats stats;
+  /// Device-memory footprint of the point: high-water mark and the bytes
+  /// the shared-segment facility avoided duplicating (0 when sharing is
+  /// off or no instances coincide).
+  std::uint64_t peak_mem_bytes = 0;
+  std::uint64_t shared_bytes_saved = 0;
   /// Complete dgc-metrics-v1 document for this point (ensemble/metrics.h)
   /// when ExperimentConfig::profile is set and the point ran; "" otherwise.
   std::string metrics_json;

@@ -10,6 +10,7 @@
 #include "ensemble/argfile.h"
 #include "ensemble/argscript.h"
 #include "gpusim/device.h"
+#include "gpusim/lane.h"
 #include "gpusim/profiler.h"
 #include "gpusim/trace.h"
 #include "ompx/league.h"
@@ -98,6 +99,7 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
   dgcf::RunResult run;
   run.instances.resize(ni);
   run.transfer_cycles = argv.transfer_cycles();
+  env.share_data = options.share_data;
 
   const std::uint64_t launch_watchdog =
       options.watchdog_cycles != 0 ? options.watchdog_cycles
@@ -146,6 +148,18 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
       const std::uint32_t team = block_id * m + thread_id / team_size;
       return team < wave_teams ? current[team] : -1;
     };
+    // Per-owner device-memory accounting: attribute each allocation to the
+    // instance the allocating lane's team is currently executing. `current`
+    // is wave-local, so the resolver is reinstalled per wave and detached
+    // before the vector dies.
+    env.device->memory().set_instance_resolver(
+        [&current, wave_teams, m, team_size]() -> std::int32_t {
+          const sim::Lane* lane = sim::CurrentLane();
+          if (lane == nullptr || lane->ctx == nullptr) return -1;
+          const std::uint32_t team =
+              lane->ctx->block_id * m + lane->thread_id / team_size;
+          return team < wave_teams ? current[team] : -1;
+        });
 
     // The Fig. 4 kernel:  #pragma omp target teams distribute
     //                     for (I = 0; I < NI; ++I)
@@ -204,6 +218,7 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
             }
           }
         });
+    env.device->memory().set_instance_resolver(nullptr);
     DGC_RETURN_IF_ERROR(result.status());
 
     run.waves = wave + 1;
@@ -262,6 +277,14 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
     }
     run.instance_stats = options.profiler->instances();
   }
+  run.device_mem = env.device->memory().Snapshot();
+  const auto& owner_stats = env.device->memory().owner_stats();
+  for (std::uint32_t i = 0; i < ni; ++i) {
+    if (auto it = owner_stats.find(std::int32_t(i)); it != owner_stats.end()) {
+      run.instances[i].mem_peak_bytes = it->second.peak_bytes;
+      run.instances[i].mem_allocations = it->second.total_allocations;
+    }
+  }
   return run;
 }
 
@@ -278,6 +301,7 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
   std::string inject;
   std::int64_t watchdog = 0, instance_watchdog = 0;
   std::int64_t retry = 1, retry_shrink = 2;
+  std::string share_data = "on";
   ArgParser parser("GPU ensemble loader (paper Fig. 5c)");
   parser.AddString("file", 'f', "command line arguments file", &file,
                    /*required=*/true)
@@ -297,8 +321,16 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
       .AddInt("retry", 0, "max launch attempts per failed instance",
               &retry)
       .AddInt("retry-shrink", 0, "team-cap divisor per retry wave",
-              &retry_shrink);
+              &retry_shrink)
+      .AddString("share-data", 0,
+                 "share read-only input data across identical instances "
+                 "(on|off, default on)",
+                 &share_data);
   DGC_RETURN_IF_ERROR(parser.Parse(argv));
+  if (share_data != "on" && share_data != "off") {
+    return Status(ErrorCode::kInvalidArgument,
+                  "--share-data must be 'on' or 'off'");
+  }
   if (instances < 0 || threads <= 0 || teams < 0 || per_block <= 0) {
     return Status(ErrorCode::kInvalidArgument,
                   "counts must be positive (instances/teams may be omitted)");
@@ -323,6 +355,7 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
   options.instance_watchdog_cycles = std::uint64_t(instance_watchdog);
   options.max_attempts = std::uint32_t(retry);
   options.retry_shrink = std::uint32_t(retry_shrink);
+  options.share_data = share_data == "on";
   if (script) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {

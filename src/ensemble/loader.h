@@ -70,6 +70,11 @@ struct EnsembleOptions {
   /// forwards it to every wave (one profiler observes all waves), records
   /// each instance's elapsed cycles, and fills RunResult::instance_stats.
   sim::Profiler* profiler = nullptr;
+  /// Share content-identical read-only inputs across instances: apps
+  /// acquire them via content-keyed shared segments, so identical instances
+  /// map one physical copy (flagged read-only to the §3.3 race detector).
+  /// Off by default — the duplicated layout is the paper's baseline.
+  bool share_data = false;
 };
 
 /// Runs the ensemble. Instance I's exit code lands in result.instances[I].
@@ -83,7 +88,8 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
                                       const EnsembleOptions& options);
 
 /// Fig. 5c front end: parses `-f <file> -n <instances> -t <threads>`
-/// (plus -m/--teams/--script and the fault-tolerance flags
+/// (plus -m/--teams/--script, `--share-data on|off` — default on — and the
+/// fault-tolerance flags
 /// --inject/--watchdog/--instance-watchdog/--retry/--retry-shrink) for
 /// `app`, loading the argument file through the host filesystem, then calls
 /// RunEnsemble. --inject parses a FaultPlan spec (gpusim/faults.h) and

@@ -116,6 +116,18 @@ std::string FormatMetricsJson(const MetricsInfo& info,
   out += "  \"kernel_cycles\": " + U64(run.kernel_cycles) + ",\n";
   out += "  \"transfer_cycles\": " + U64(run.transfer_cycles) + ",\n";
 
+  const sim::DeviceMemSnapshot& mem = run.device_mem;
+  out += "  \"device_mem\": {\n";
+  out += "    \"capacity\": " + U64(mem.capacity) + ",\n";
+  out += "    \"peak_bytes\": " + U64(mem.peak_bytes) + ",\n";
+  out += "    \"bytes_in_use\": " + U64(mem.bytes_in_use) + ",\n";
+  out += "    \"allocation_count\": " + U64(mem.allocation_count) + ",\n";
+  out += "    \"shared_live\": " + U64(mem.shared_live) + ",\n";
+  out += "    \"shared_materialized\": " + U64(mem.shared_materialized) + ",\n";
+  out += "    \"shared_attaches\": " + U64(mem.shared_attaches) + ",\n";
+  out += "    \"shared_bytes_saved\": " + U64(mem.shared_bytes_saved) + "\n";
+  out += "  },\n";
+
   out += "  \"launch\": {\n";
   AppendCounters(out, "    ", run.stats, /*derived=*/true);
   out += "  },\n";
@@ -140,6 +152,8 @@ std::string FormatMetricsJson(const MetricsInfo& info,
     out += "      \"reason\": \"" +
            JsonEscape(dgcf::ToString(inst.reason)) + "\",\n";
     out += "      \"attempts\": " + U64(inst.attempts) + ",\n";
+    out += "      \"mem_peak_bytes\": " + U64(inst.mem_peak_bytes) + ",\n";
+    out += "      \"mem_allocations\": " + U64(inst.mem_allocations) + ",\n";
     AppendCounters(out, "      ", stats, /*derived=*/true);
     out += "    }";
   }

@@ -28,6 +28,7 @@ const char* OpName(DeviceOp::Kind op) {
 
 std::string OwnerName(std::int32_t owner) {
   if (owner == kSharedOwner) return "shared";
+  if (owner == kReadOnlyShared) return "shared read-only";
   if (owner < 0) return "untagged";
   return StrFormat("instance %d", owner);
 }
@@ -162,6 +163,10 @@ void Memcheck::OnFreeFailed(DeviceAddr addr) {
   Record(std::move(f));
 }
 
+void Memcheck::OnSharedRegion(DeviceAddr addr, const std::string& label) {
+  TagRegion(addr, kReadOnlyShared, label);
+}
+
 void Memcheck::TagRegion(DeviceAddr addr, std::int32_t owner,
                          std::string label) {
   auto it = live_.find(addr);
@@ -254,6 +259,9 @@ bool Memcheck::CheckAccess(const Lane& lane, DeviceOp::Kind op,
       bool race = false;
       if (region->owner >= 0) {
         race = inst != region->owner;
+      } else if (region->owner == kReadOnlyShared) {
+        // A shared read-only input segment: no writer is ever legitimate.
+        race = true;
       } else {  // kSharedOwner: first writer claims, later writers race
         ShadowAlloc* mut = const_cast<ShadowAlloc*>(region);
         if (mut->first_writer == kNoInstance) {

@@ -48,6 +48,10 @@ struct LaunchStats;
 /// Sentinel owners for shadow regions (real instance ids are >= 0).
 inline constexpr std::int32_t kNoInstance = -1;  ///< unknown / not checked
 inline constexpr std::int32_t kSharedOwner = -2; ///< deliberately shared
+/// Instance-shared read-only input segment (DeviceMemory::AcquireShared):
+/// reads from any instance are benign, but ANY attributed write is a
+/// cross-instance race — unlike kSharedOwner there is no first-writer claim.
+inline constexpr std::int32_t kReadOnlyShared = -3;
 
 enum class MemcheckErrorKind : std::uint8_t {
   kOutOfBounds,
@@ -136,6 +140,9 @@ class Memcheck : public AllocationListener {
                std::uint64_t rounded) override;
   void OnFree(DeviceAddr addr, std::uint64_t rounded) override;
   void OnFreeFailed(DeviceAddr addr) override;
+  /// A shared read-only segment materialized at `addr`: tags the region
+  /// kReadOnlyShared so any attributed write reports a cross-instance race.
+  void OnSharedRegion(DeviceAddr addr, const std::string& label) override;
 
   // --- Cross-instance tagging ------------------------------------------------
   /// Tags the allocation based at `addr` with an owning instance id

@@ -141,7 +141,10 @@ TEST(Metrics, PerInstanceSectionMatchesAttribution) {
   const std::string expect = StrFormat(
       "\"instance\": 1,\n      \"completed\": true,\n      \"exit_code\": 0,\n"
       "      \"reason\": \"returned\",\n      \"attempts\": 1,\n"
+      "      \"mem_peak_bytes\": %llu,\n      \"mem_allocations\": %llu,\n"
       "      \"elapsed_cycles\": %llu,",
+      (unsigned long long)pr.run.instances[1].mem_peak_bytes,
+      (unsigned long long)pr.run.instances[1].mem_allocations,
       (unsigned long long)pr.run.instance_stats[2].stats.elapsed_cycles);
   EXPECT_NE(json.find(expect), std::string::npos) << json.substr(0, 2000);
 }

@@ -1,0 +1,204 @@
+// Ensemble-level tests of the shared read-only data segment facility:
+// capacity gains on replica ensembles, the §3.3 memcheck contract (reads
+// benign, any write a cross-instance race), sharing staying inert for
+// distinct workloads, and the exported per-instance memory accounting.
+#include <gtest/gtest.h>
+
+#include "apps/common.h"
+#include "dgcf/libc.h"
+#include "dgcf/rpc.h"
+#include "ensemble/loader.h"
+#include "gpusim/ctx.h"
+#include "gpusim/device.h"
+#include "gpusim/memcheck.h"
+#include "ompx/team.h"
+#include "support/str.h"
+#include "support/units.h"
+
+namespace dgc::ensemble {
+namespace {
+
+using dgcf::AppEnv;
+using sim::Device;
+using sim::DeviceSpec;
+using sim::DeviceTask;
+
+/// A small device whose capacity a handful of duplicated Page-Rank replicas
+/// exceeds while the shared layout fits comfortably.
+DeviceSpec TightDevice() {
+  DeviceSpec spec = DeviceSpec::TestDevice();
+  spec.global_memory_bytes = 512 * kKiB;
+  return spec;
+}
+
+std::vector<std::string> ReplicaArgs() {
+  return {"-g", "2000", "-d", "8", "-k", "2"};
+}
+
+StatusOr<dgcf::RunResult> RunReplicas(const DeviceSpec& spec,
+                                      std::uint32_t instances, bool share,
+                                      sim::Memcheck* memcheck = nullptr,
+                                      bool distinct_seeds = false) {
+  apps::RegisterAllApps();
+  Device device(spec);
+  dgcf::RpcHost rpc(device);
+  dgcf::DeviceLibc libc(device);
+  AppEnv env{&device, &rpc, &libc};
+
+  EnsembleOptions opt;
+  opt.app = "pagerank";
+  for (std::uint32_t i = 0; i < instances; ++i) {
+    std::vector<std::string> args = ReplicaArgs();
+    if (distinct_seeds) {
+      args.push_back("-s");
+      args.push_back(StrFormat("%u", i + 1));
+    }
+    opt.instance_args.push_back(std::move(args));
+  }
+  opt.thread_limit = 32;
+  opt.share_data = share;
+  opt.memcheck = memcheck;
+  return RunEnsemble(env, opt);
+}
+
+// The tentpole claim in miniature: replicas that OOM with duplicated
+// read-only inputs all fit — and still verify — once the inputs are shared.
+TEST(SharedEnsemble, SharedLayoutFitsWhereDuplicatedOoms) {
+  auto duplicated = RunReplicas(TightDevice(), 8, /*share=*/false);
+  ASSERT_TRUE(duplicated.ok()) << duplicated.status().ToString();
+  bool oom = false;
+  for (const auto& inst : duplicated->instances) {
+    if (inst.completed && inst.exit_code == dgcf::kExitNoMem) oom = true;
+  }
+  EXPECT_TRUE(oom) << "duplicated layout unexpectedly fit — shrink the device";
+
+  auto shared = RunReplicas(TightDevice(), 8, /*share=*/true);
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+  EXPECT_TRUE(shared->all_ok());
+  for (const auto& inst : shared->instances) {
+    EXPECT_TRUE(inst.completed);
+    EXPECT_EQ(inst.exit_code, 0);  // every replica verified its result
+  }
+  EXPECT_GT(shared->device_mem.shared_attaches, 0u);
+  EXPECT_GT(shared->device_mem.shared_bytes_saved, 0u);
+  EXPECT_LT(shared->device_mem.peak_bytes, duplicated->device_mem.capacity);
+}
+
+// Sharing is content-keyed: instances on distinct inputs never coincide,
+// so --share-data=on degrades to the duplicated layout for real ensembles.
+TEST(SharedEnsemble, DistinctWorkloadsDoNotShare) {
+  auto run = RunReplicas(DeviceSpec::TestDevice(), 4, /*share=*/true,
+                         nullptr, /*distinct_seeds=*/true);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->all_ok());
+  EXPECT_EQ(run->device_mem.shared_attaches, 0u);
+  EXPECT_EQ(run->device_mem.shared_bytes_saved, 0u);
+}
+
+// With sharing off nothing reaches the shared facility at all — the legacy
+// allocation sequence is preserved by construction.
+TEST(SharedEnsemble, OffModeNeverTouchesSharedFacility) {
+  auto run = RunReplicas(DeviceSpec::TestDevice(), 4, /*share=*/false);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->all_ok());
+  EXPECT_EQ(run->device_mem.shared_materialized, 0u);
+  EXPECT_EQ(run->device_mem.shared_attaches, 0u);
+}
+
+TEST(SharedEnsemble, SharedRunsAreDeterministic) {
+  auto a = RunReplicas(DeviceSpec::TestDevice(), 4, /*share=*/true);
+  auto b = RunReplicas(DeviceSpec::TestDevice(), 4, /*share=*/true);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->kernel_cycles, b->kernel_cycles);
+  EXPECT_EQ(a->device_mem.peak_bytes, b->device_mem.peak_bytes);
+}
+
+// Per-instance accounting: every replica allocated something; the
+// materializer (instance 0) carries the shared segments' physical bytes,
+// so its peak exceeds a pure attacher's.
+TEST(SharedEnsemble, PerInstanceMemoryStatsAreExported) {
+  auto run = RunReplicas(DeviceSpec::TestDevice(), 4, /*share=*/true);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->instances.size(), 4u);
+  for (const auto& inst : run->instances) {
+    EXPECT_GT(inst.mem_peak_bytes, 0u);
+    EXPECT_GT(inst.mem_allocations, 0u);
+  }
+  EXPECT_GT(run->instances[0].mem_peak_bytes,
+            run->instances[1].mem_peak_bytes);
+  EXPECT_GT(run->device_mem.peak_bytes, 0u);
+  EXPECT_EQ(run->device_mem.capacity,
+            DeviceSpec::TestDevice().global_memory_bytes);
+}
+
+// A correct shared-mode app under the sanitizer: reads from the shared
+// segments come from every instance and must all be benign.
+TEST(SharedEnsemble, CorrectSharedAppRunsMemcheckClean) {
+  sim::Memcheck memcheck;
+  auto run = RunReplicas(DeviceSpec::TestDevice(), 4, /*share=*/true,
+                         &memcheck);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->all_ok());
+  EXPECT_TRUE(run->memcheck.clean()) << run->memcheck.ToString();
+}
+
+// Checking is observation: memcheck must not change shared-mode timing.
+TEST(SharedEnsemble, MemcheckDoesNotPerturbSharedTiming) {
+  auto plain = RunReplicas(DeviceSpec::TestDevice(), 4, /*share=*/true);
+  sim::Memcheck memcheck;
+  auto checked = RunReplicas(DeviceSpec::TestDevice(), 4, /*share=*/true,
+                             &memcheck);
+  ASSERT_TRUE(plain.ok() && checked.ok());
+  EXPECT_EQ(plain->kernel_cycles, checked->kernel_cycles);
+}
+
+// The §3.3 contract's teeth: a device-code write into a shared read-only
+// segment — from ANY instance, even the materializer — is reported as a
+// cross-instance race against the kReadOnlyShared owner.
+TEST(SharedEnsemble, WriteToSharedSegmentIsReportedAsRace) {
+  dgcf::AppRegistry::Instance().Register(
+      {"shared_writer", "test app: writes its shared read-only segment",
+       [](AppEnv& env, ompx::TeamCtx& team, int, dgcf::DeviceArgv)
+           -> DeviceTask<int> {
+         sim::ThreadCtx& ctx = *team.hw;
+         const std::vector<std::uint64_t> sizes{256};
+         auto group = co_await env.libc->AcquireSharedGroup(
+             ctx, /*content_key=*/0x5eed, sizes, "ro_seg");
+         if (!group.ok) co_return dgcf::kExitNoMem;
+         auto ptr = group.buffers[0].Typed<std::uint64_t>();
+         if (group.first) {
+           // Legitimate initialization: an untimed host-side fill.
+           for (int i = 0; i < 32; ++i) ptr.host[i] = std::uint64_t(i);
+         }
+         // The bug under test: a timed device write to shared storage.
+         co_await ctx.Store(ptr, std::uint64_t{42});
+         co_await env.libc->Free(ctx, group.buffers[0].addr);
+         co_return 0;
+       }});
+
+  Device device(DeviceSpec::TestDevice());
+  dgcf::RpcHost rpc(device);
+  dgcf::DeviceLibc libc(device);
+  AppEnv env{&device, &rpc, &libc};
+  sim::Memcheck memcheck;
+
+  EnsembleOptions opt;
+  opt.app = "shared_writer";
+  opt.instance_args = {{}, {}};
+  opt.thread_limit = 32;
+  opt.share_data = true;
+  opt.memcheck = &memcheck;
+
+  auto run = RunEnsemble(env, opt);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GE(run->memcheck.cross_instance_count, 2u)  // both instances wrote
+      << run->memcheck.ToString();
+  ASSERT_FALSE(run->memcheck.findings.empty());
+  const sim::MemcheckFinding& f = run->memcheck.findings[0];
+  EXPECT_EQ(f.kind, sim::MemcheckErrorKind::kCrossInstance);
+  EXPECT_EQ(f.region_owner, sim::kReadOnlyShared);
+  EXPECT_EQ(f.region_label, "ro_seg[0]");
+}
+
+}  // namespace
+}  // namespace dgc::ensemble

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "support/rng.h"
+#include "support/units.h"
 
 namespace dgc::sim {
 namespace {
@@ -33,6 +34,21 @@ TEST(DeviceMemory, CapacityEnforced) {
   // Freeing makes space again.
   ASSERT_TRUE(mem.Free(a->addr).ok());
   EXPECT_TRUE(mem.Allocate(4096).ok());
+}
+
+// The OOM diagnostic must name the caller's size AND the aligned extent the
+// allocator actually tried to reserve — debugging a capacity boundary with
+// only one of the two is guesswork.
+TEST(DeviceMemory, OomMessageReportsRequestedAndRoundedSize) {
+  DeviceMemory mem(4096);
+  auto b = mem.Allocate(5000);
+  ASSERT_FALSE(b.ok());
+  const std::string msg = b.status().ToString();
+  EXPECT_NE(msg.find("requested " + FormatBytes(5000)), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("rounded to " + FormatBytes(5120)), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find(FormatBytes(4096)), std::string::npos) << msg;
 }
 
 TEST(DeviceMemory, DistinctAllocationsDoNotOverlap) {
@@ -103,6 +119,69 @@ TEST(DeviceMemory, ContainsRange) {
   EXPECT_TRUE(mem.Contains(buf.addr, 512));
   EXPECT_TRUE(mem.Contains(buf.addr + 8, 8));
   EXPECT_FALSE(mem.Contains(buf.addr, buf.bytes + 1));
+}
+
+// Tight range semantics at the upper boundary: the one-past-the-end address
+// is not part of the allocation, even for an empty range — a zero-length
+// Contains there used to slip through the arithmetic.
+TEST(DeviceMemory, ContainsOnePastEndIsOutside) {
+  DeviceMemory mem(1 << 20);
+  auto buf = *mem.Allocate(512);
+  EXPECT_TRUE(mem.Contains(buf.addr, 0));
+  EXPECT_TRUE(mem.Contains(buf.addr + buf.bytes - 1, 1));
+  EXPECT_TRUE(mem.Contains(buf.addr + buf.bytes - 1, 0));
+  EXPECT_FALSE(mem.Contains(buf.addr + buf.bytes, 0));
+  EXPECT_FALSE(mem.Contains(buf.addr + buf.bytes, 1));
+  // Overflow-safety: a huge length cannot wrap past the end.
+  EXPECT_FALSE(mem.Contains(buf.addr, ~std::uint64_t{0}));
+}
+
+// First-fit: a freed hole is reused (and split) before the frontier grows.
+TEST(DeviceMemory, FirstFitReusesAndSplitsHoles) {
+  DeviceMemory mem(1 << 20);
+  auto a = *mem.Allocate(1024);
+  auto b = *mem.Allocate(1024);
+  auto c = *mem.Allocate(1024);
+  (void)c;
+  ASSERT_TRUE(mem.Free(a.addr).ok());
+  // The 1024-byte hole at a's address satisfies two 512-byte requests.
+  auto d = *mem.Allocate(512);
+  EXPECT_EQ(d.addr, a.addr);
+  auto e = *mem.Allocate(512);
+  EXPECT_EQ(e.addr, a.addr + 512);
+  // The hole is exhausted: the next allocation extends past c.
+  auto f = *mem.Allocate(512);
+  EXPECT_EQ(f.addr, c.addr + c.bytes);
+  (void)b;
+}
+
+// Freeing the middle allocation merges with BOTH neighbours in one step.
+TEST(DeviceMemory, CoalescesWithPredecessorAndSuccessor) {
+  DeviceMemory mem(1 << 20);
+  auto a = *mem.Allocate(1024);
+  auto b = *mem.Allocate(1024);
+  auto c = *mem.Allocate(1024);
+  auto d = *mem.Allocate(1024);  // keeps the merged hole off the frontier
+  (void)d;
+  ASSERT_TRUE(mem.Free(a.addr).ok());
+  ASSERT_TRUE(mem.Free(c.addr).ok());
+  ASSERT_TRUE(mem.Free(b.addr).ok());  // merges a|b|c into one 3072 hole
+  auto e = *mem.Allocate(3072);
+  EXPECT_EQ(e.addr, a.addr);
+}
+
+// Holes that touch the frontier are returned to it, so the address space
+// does not creep upward across alloc/free cycles.
+TEST(DeviceMemory, FrontierReclamation) {
+  DeviceMemory mem(1 << 20);
+  auto a = *mem.Allocate(1024);
+  auto b = *mem.Allocate(1024);
+  ASSERT_TRUE(mem.Free(a.addr).ok());  // interior hole
+  ASSERT_TRUE(mem.Free(b.addr).ok());  // coalesces, then rejoins the frontier
+  // A request larger than either hole starts at the very base again.
+  auto c = *mem.Allocate(8192);
+  EXPECT_EQ(c.addr, a.addr);
+  EXPECT_EQ(c.addr, DeviceAddr(kGlobalBase));
 }
 
 TEST(DeviceMemory, PeakTracksHighWater) {

@@ -113,14 +113,21 @@ std::int64_t PeekLoaderInt(const std::vector<std::string>& loader_args,
 /// DRAM bandwidth occupancy (the §4.3 saturation signal at a glance).
 void PrintProfile(const dgcf::RunResult& run, const sim::Profiler& profiler) {
   std::printf("\nprofile: per-instance counters\n");
-  std::printf("%9s %12s %12s %12s %10s %10s %10s\n", "instance", "cycles",
-              "instr", "dram-bytes", "dram-q", "l2-q", "barrier");
+  std::printf("%9s %12s %12s %12s %10s %10s %10s %10s %7s\n", "instance",
+              "cycles", "instr", "dram-bytes", "dram-q", "l2-q", "barrier",
+              "mem-peak", "allocs");
   for (const sim::InstanceStats& entry : run.instance_stats) {
     const sim::LaunchStats& s = entry.stats;
     if (entry.instance < 0 && s.warp_instructions == 0 && s.dram_bytes == 0) {
       continue;  // nothing landed in the unattributed slot; skip the row
     }
-    std::printf("%9s %12s %12s %12s %10s %10s %10s\n",
+    std::uint64_t mem_peak = 0, mem_allocs = 0;
+    if (entry.instance >= 0 &&
+        std::size_t(entry.instance) < run.instances.size()) {
+      mem_peak = run.instances[std::size_t(entry.instance)].mem_peak_bytes;
+      mem_allocs = run.instances[std::size_t(entry.instance)].mem_allocations;
+    }
+    std::printf("%9s %12s %12s %12s %10s %10s %10s %10s %7s\n",
                 entry.instance < 0
                     ? "(none)"
                     : StrFormat("%d", entry.instance).c_str(),
@@ -129,8 +136,22 @@ void PrintProfile(const dgcf::RunResult& run, const sim::Profiler& profiler) {
                 FormatBytes(s.dram_bytes).c_str(),
                 FormatCount(s.dram_queue_cycles).c_str(),
                 FormatCount(s.l2_queue_cycles).c_str(),
-                FormatCount(s.barrier_stall_cycles).c_str());
+                FormatCount(s.barrier_stall_cycles).c_str(),
+                FormatBytes(mem_peak).c_str(),
+                FormatCount(mem_allocs).c_str());
   }
+  const sim::DeviceMemSnapshot& mem = run.device_mem;
+  std::printf("device memory: peak %s of %s, %s allocation(s)",
+              FormatBytes(mem.peak_bytes).c_str(),
+              FormatBytes(mem.capacity).c_str(),
+              FormatCount(mem.allocation_count).c_str());
+  if (mem.shared_materialized != 0 || mem.shared_attaches != 0) {
+    std::printf("; shared segments: %s materialized, %s attach(es), %s saved",
+                FormatCount(mem.shared_materialized).c_str(),
+                FormatCount(mem.shared_attaches).c_str(),
+                FormatBytes(mem.shared_bytes_saved).c_str());
+  }
+  std::printf("\n");
   double peak_dram = 0.0, peak_l2 = 0.0;
   for (const sim::TimelineSample& s : profiler.timeline()) {
     peak_dram = std::max(peak_dram, s.dram_bw_occupancy);
@@ -161,6 +182,7 @@ int RunSweepMode(const std::string& app,
   std::string inject;
   std::int64_t watchdog = 0, instance_watchdog = 0;
   std::int64_t retry = 1, retry_shrink = 2;
+  std::string share_data = "on";
   ArgParser parser("ensemble sweep (Fig. 6 methodology)");
   parser.AddString("file", 'f', "command line arguments file", &file,
                    /*required=*/true)
@@ -176,10 +198,18 @@ int RunSweepMode(const std::string& app,
               &instance_watchdog)
       .AddInt("retry", 0, "max launch attempts per failed instance", &retry)
       .AddInt("retry-shrink", 0, "team-cap divisor per retry wave",
-              &retry_shrink);
+              &retry_shrink)
+      .AddString("share-data", 0,
+                 "share read-only input data across identical instances "
+                 "(on|off, default on)",
+                 &share_data);
   const Status parsed = parser.Parse(loader_args);
   if (!parsed.ok()) {
     std::fprintf(stderr, "dgc-run: %s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  if (share_data != "on" && share_data != "off") {
+    std::fprintf(stderr, "dgc-run: --share-data must be 'on' or 'off'\n");
     return 2;
   }
   if (threads <= 0 || per_block <= 0 || watchdog < 0 ||
@@ -226,6 +256,7 @@ int RunSweepMode(const std::string& app,
   cfg.instance_watchdog_cycles = std::uint64_t(instance_watchdog);
   cfg.max_attempts = std::uint32_t(retry);
   cfg.retry_shrink = std::uint32_t(retry_shrink);
+  cfg.share_data = share_data == "on";
   cfg.profile = profile || !metrics_prefix.empty();
   cfg.profile_interval = profile_interval;
 
@@ -307,7 +338,10 @@ int main(int argc, char** argv) {
         "  --retry <n>    max launch attempts per failed instance\n"
         "                 (default 1 = no retry)\n"
         "  --retry-shrink <n>  divide the team cap by <n> each retry wave\n"
-        "                 (default 2)\n\n"
+        "                 (default 2)\n"
+        "  --share-data <on|off>  share read-only input segments across\n"
+        "                 instances with identical workloads (default on;\n"
+        "                 off reproduces the duplicated per-instance layout)\n\n"
         "tool options (must precede the loader options):\n"
         "  --device <d>   a100 (default), v100, or test\n"
         "  --memory-scale <n>  capacity scale divisor (default 512)\n"
