@@ -153,6 +153,41 @@ void BM_EnsembleLoaderXsbenchSmall(benchmark::State& state) {
 }
 BENCHMARK(BM_EnsembleLoaderXsbenchSmall)->Unit(benchmark::kMillisecond);
 
+/// The hot-path speed gate: one full XSBench ensemble launch at fig6a
+/// scale-down, parameterized by instance count. This is the benchmark the
+/// CI bench-release job diffs against BENCH_sim_speed.json — it exercises
+/// the per-launch path end to end (coalescer, caches, memory system,
+/// engine scheduling) with enough simulated work that allocation and
+/// indexing costs dominate measurable noise.
+void BM_EnsembleLaunchXsbench(benchmark::State& state) {
+  apps::RegisterAllApps();
+  const int instances = int(state.range(0));
+  for (auto _ : state) {
+    sim::Device device(sim::DeviceSpec::TestDevice());
+    dgcf::RpcHost rpc(device);
+    dgcf::DeviceLibc libc(device);
+    dgcf::AppEnv env{&device, &rpc, &libc};
+    ensemble::EnsembleOptions opt;
+    opt.app = "xsbench";
+    for (int i = 0; i < instances; ++i) {
+      opt.instance_args.push_back({"-i", "12", "-g", "128", "-l", "512", "-s",
+                                   StrFormat("%d", i + 1)});
+    }
+    opt.thread_limit = 32;
+    auto run = ensemble::RunEnsemble(env, opt);
+    benchmark::DoNotOptimize(run->kernel_cycles);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * instances);
+}
+BENCHMARK(BM_EnsembleLaunchXsbench)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -10,31 +10,12 @@ SectorCache::SectorCache(std::uint64_t capacity_bytes,
   const std::uint64_t sectors = capacity_bytes / sector_bytes;
   DGC_CHECK_MSG(sectors >= ways_, "cache smaller than one set");
   sets_ = std::uint32_t(sectors / ways_);
+  if ((sets_ & (sets_ - 1)) == 0) set_mask_ = sets_ - 1;
   table_.resize(std::size_t(sets_) * ways_);
 }
 
-bool SectorCache::Access(std::uint64_t sector) {
-  const std::uint32_t set = std::uint32_t(sector % sets_);
-  Way* base = &table_[std::size_t(set) * ways_];
-  ++stamp_;
-  Way* victim = base;
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    Way& way = base[w];
-    if (way.tag == sector) {
-      way.lru = stamp_;
-      ++hits_;
-      return true;
-    }
-    if (way.lru < victim->lru) victim = &way;
-  }
-  ++misses_;
-  victim->tag = sector;
-  victim->lru = stamp_;
-  return false;
-}
-
 bool SectorCache::Probe(std::uint64_t sector) const {
-  const std::uint32_t set = std::uint32_t(sector % sets_);
+  const std::uint32_t set = SetIndex(sector);
   const Way* base = &table_[std::size_t(set) * ways_];
   for (std::uint32_t w = 0; w < ways_; ++w) {
     if (base[w].tag == sector) return true;

@@ -14,14 +14,34 @@ namespace dgc::sim {
 
 class SectorCache {
  public:
-  /// `capacity_bytes / (sector_bytes * ways)` sets must be a power of two
-  /// is NOT required; we use modulo indexing.
+  /// `capacity_bytes / (sector_bytes * ways)` sets being a power of two is
+  /// NOT required; indexing uses a mask when it is (the common case for
+  /// every shipped DeviceSpec) and falls back to modulo when not.
   SectorCache(std::uint64_t capacity_bytes, std::uint32_t sector_bytes,
               std::uint32_t ways);
 
   /// Returns true on hit. On miss the sector is inserted (allocate-on-miss
-  /// for both loads and stores — GPUs write-allocate at the L2).
-  bool Access(std::uint64_t sector);
+  /// for both loads and stores — GPUs write-allocate at the L2). Defined
+  /// inline: this is the single hottest call in the simulator (every sector
+  /// of every memory instruction, twice on the L1-miss path).
+  bool Access(std::uint64_t sector) {
+    Way* base = &table_[std::size_t(SetIndex(sector)) * ways_];
+    ++stamp_;
+    Way* victim = base;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      Way& way = base[w];
+      if (way.tag == sector) {
+        way.lru = stamp_;
+        ++hits_;
+        return true;
+      }
+      if (way.lru < victim->lru) victim = &way;
+    }
+    ++misses_;
+    victim->tag = sector;
+    victim->lru = stamp_;
+    return false;
+  }
 
   /// Hit query without any state change (for tests and stats probes).
   bool Probe(std::uint64_t sector) const;
@@ -41,7 +61,16 @@ class SectorCache {
   };
   static constexpr std::uint64_t kInvalid = ~std::uint64_t(0);
 
+  /// Set index of a sector: masked when sets_ is a power of two (every
+  /// access is on the hot path, and hardware divide dominates the lookup
+  /// otherwise), modulo as the general fallback.
+  std::uint32_t SetIndex(std::uint64_t sector) const {
+    return set_mask_ != 0 || sets_ == 1 ? std::uint32_t(sector) & set_mask_
+                                        : std::uint32_t(sector % sets_);
+  }
+
   std::uint32_t sets_;
+  std::uint32_t set_mask_ = 0;  ///< sets_ - 1 when a power of two, else 0
   std::uint32_t ways_;
   std::uint64_t stamp_ = 0;
   std::vector<Way> table_;  ///< sets_ * ways_

@@ -26,9 +26,28 @@ struct LaneAccess {
 /// given lane accesses. The result is sorted and deduplicated; inactive
 /// lanes (bytes == 0) contribute nothing. An access may straddle sector
 /// boundaries and then contributes every covered sector.
+///
+/// This is the optimized entry point: full-warp unit-stride runs compute
+/// their sector interval directly, and already-sorted patterns skip the
+/// sort. The output is defined to be identical to CoalesceSectorsScalar
+/// for every input.
 void CoalesceSectors(std::span<const LaneAccess> accesses,
                      std::uint32_t sector_bytes,
                      std::vector<std::uint64_t>& sectors_out);
+
+/// Reference implementation: per-lane sector expansion followed by
+/// sort+unique, with no shape-dependent shortcuts. Kept callable so tests
+/// and the determinism harness can pin the fast path against it.
+void CoalesceSectorsScalar(std::span<const LaneAccess> accesses,
+                           std::uint32_t sector_bytes,
+                           std::vector<std::uint64_t>& sectors_out);
+
+/// Enables/disables the CoalesceSectors fast path process-wide (default
+/// on); returns the previous setting. Off routes every call through the
+/// scalar reference — used by the determinism harness to prove the two
+/// paths produce byte-identical runs.
+bool SetCoalesceFastPath(bool enabled);
+bool CoalesceFastPathEnabled();
 
 /// The minimum number of sectors any permutation of these accesses could
 /// produce (= ceil(total distinct bytes / sector size) is a lower bound; we
@@ -36,5 +55,14 @@ void CoalesceSectors(std::span<const LaneAccess> accesses,
 /// report a coalescing-efficiency ratio.
 std::uint64_t IdealSectorCount(std::span<const LaneAccess> accesses,
                                std::uint32_t sector_bytes);
+
+/// IdealSectorCount when the caller already holds the byte total (the warp
+/// issue loops accumulate it while gathering lane accesses, saving a
+/// second pass over the group).
+inline std::uint64_t IdealSectorCountForBytes(std::uint64_t total_bytes,
+                                              std::uint32_t sector_bytes) {
+  return total_bytes == 0 ? 0
+                          : (total_bytes + sector_bytes - 1) / sector_bytes;
+}
 
 }  // namespace dgc::sim

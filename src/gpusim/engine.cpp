@@ -6,6 +6,17 @@ namespace dgc::sim {
 
 void Engine::Schedule(std::uint64_t t, Warp* warp) {
   if (t < now_) t = now_;
+  // Duplicate wake-up suppression: if the warp already has an undispatched
+  // wake queued for exactly `t`, this call is semantically a no-op — Turn
+  // is time-driven, so the pending dispatch covers everything this one
+  // would do, and it runs no later than the duplicate would have. The mark
+  // tracks one pending wake per warp and is cleared when that wake
+  // dispatches (or overwritten by a different-time enqueue), so the
+  // suppression is conservative: it can miss duplicates, never drop a
+  // needed turn. Anything that makes a lane runnable after the pending
+  // dispatch re-schedules the warp itself (barrier releases call WakeAt).
+  if (warp->queued_wake() == t) return;
+  warp->set_queued_wake(t);
   queue_.push(Event{t, seq_++, warp});
 }
 
@@ -15,6 +26,7 @@ bool Engine::RunOne() {
   queue_.pop();
   now_ = ev.t;
   ++dispatched_;
+  if (ev.warp->queued_wake() == ev.t) ev.warp->clear_queued_wake();
   ev.warp->Turn(ev.t);
   return true;
 }

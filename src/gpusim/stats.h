@@ -29,11 +29,13 @@ struct LaunchStats {
   std::uint64_t smem_bank_conflicts = 0;  ///< extra serialized bank cycles
 
   // Stall / queueing behaviour (see docs/MODEL.md, "Profiling & metrics").
-  /// Cycles sectors waited for a busy DRAM channel before service began —
-  /// the direct signature of bandwidth saturation (truncated to whole
-  /// cycles per sector).
+  /// DRAM-channel backlog found by memory instructions on arrival — the
+  /// direct signature of bandwidth saturation. Charged once per channel
+  /// per instruction (whole cycles): an instruction's own sectors are
+  /// service time, never queue time.
   std::uint64_t dram_queue_cycles = 0;
-  /// Cycles sectors waited for the (shared) L2 port.
+  /// L2-port backlog found by memory instructions on arrival, charged once
+  /// per instruction (whole cycles).
   std::uint64_t l2_queue_cycles = 0;
   /// Cycles lanes spent parked at barriers between arrival and release.
   std::uint64_t barrier_stall_cycles = 0;

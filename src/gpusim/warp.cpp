@@ -1,6 +1,7 @@
 #include "gpusim/warp.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "gpusim/block.h"
 #include "gpusim/coalesce.h"
@@ -13,14 +14,34 @@
 namespace dgc::sim {
 namespace {
 
+// Fixed-size memcpy compiles to a single (unaligned-tolerant) load/store;
+// the variable-length fallback is an out-of-line libc call, noticeable at
+// one call per lane-slot on the hot path. 8 and 4 cover f64/i64 and
+// f32/i32 — essentially all traffic.
 std::uint64_t ReadBits(const void* host, std::uint8_t bytes) {
+  if (bytes == 8) {
+    std::uint64_t b;
+    std::memcpy(&b, host, 8);
+    return b;
+  }
+  if (bytes == 4) {
+    std::uint32_t b;
+    std::memcpy(&b, host, 4);
+    return b;
+  }
   std::uint64_t b = 0;
   std::memcpy(&b, host, bytes);
   return b;
 }
 
 void WriteBits(void* host, std::uint8_t bytes, std::uint64_t bits) {
-  std::memcpy(host, &bits, bytes);
+  if (bytes == 8) {
+    std::memcpy(host, &bits, 8);
+  } else if (bytes == 4) {
+    std::memcpy(host, &bits, 4);
+  } else {
+    std::memcpy(host, &bits, bytes);
+  }
 }
 
 }  // namespace
@@ -121,34 +142,47 @@ std::uint64_t Warp::ProcessPhase(std::uint64_t now, bool& processed_any) {
   std::uint64_t t = now;       // final (max) completion
   std::uint64_t issue = now;   // next group's issue time
   int groups = 0;
-  while (true) {
-    // Gather the next issue group: all ready lanes whose pending op matches
-    // the first pending lane's kind (and barrier / address space).
-    DeviceOp::Kind kind = DeviceOp::Kind::kNone;
-    Barrier* barrier = nullptr;
-    bool shared_space = false;
+  // Candidate lanes are fixed for the whole phase: a lane with a pending op
+  // is Ready (blocked lanes surrendered their op at the barrier), issuing a
+  // group never hands a new op to another lane, and group order is lane
+  // order. One pass collects the candidates; each divergent replay then
+  // scans only the not-yet-issued remainder, compacting in place — the
+  // repeated full-warp rescans this replaces were the scheduler's main
+  // per-turn cost.
+  pending_lanes_.clear();
+  for (Lane& lane : lanes_) {
+    if (lane.state != Lane::State::kReady) continue;
+    if (lane.pending.kind == DeviceOp::Kind::kNone) continue;
+    pending_lanes_.push_back(&lane);
+  }
+  std::size_t remaining = pending_lanes_.size();
+  while (remaining != 0) {
+    // The first un-issued lane (in lane order) defines the group: all
+    // remaining lanes whose pending op matches its kind (and barrier /
+    // address space) issue together.
+    const DeviceOp::Kind kind = pending_lanes_.front()->pending.kind;
+    Barrier* const barrier = pending_lanes_.front()->pending.barrier;
+    const bool shared_space = IsSharedAddr(pending_lanes_.front()->pending.addr);
+    const bool is_mem = kind == DeviceOp::Kind::kLoad ||
+                        kind == DeviceOp::Kind::kStore ||
+                        kind == DeviceOp::Kind::kAtomic ||
+                        kind == DeviceOp::Kind::kLoadBatch ||
+                        kind == DeviceOp::Kind::kStoreBatch;
     group_.clear();
-    for (Lane& lane : lanes_) {
-      if (lane.state != Lane::State::kReady) continue;
-      if (lane.pending.kind == DeviceOp::Kind::kNone) continue;
-      if (kind == DeviceOp::Kind::kNone) {
-        kind = lane.pending.kind;
-        barrier = lane.pending.barrier;
-        shared_space = IsSharedAddr(lane.pending.addr);
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < remaining; ++i) {
+      Lane* lane = pending_lanes_[i];
+      const bool match =
+          lane->pending.kind == kind &&
+          (kind != DeviceOp::Kind::kSync || lane->pending.barrier == barrier) &&
+          (!is_mem || IsSharedAddr(lane->pending.addr) == shared_space);
+      if (match) {
+        group_.push_back(lane);
+      } else {
+        pending_lanes_[keep++] = lane;
       }
-      if (lane.pending.kind != kind) continue;
-      if (kind == DeviceOp::Kind::kSync && lane.pending.barrier != barrier) {
-        continue;
-      }
-      const bool is_mem = kind == DeviceOp::Kind::kLoad ||
-                          kind == DeviceOp::Kind::kStore ||
-                          kind == DeviceOp::Kind::kAtomic ||
-                          kind == DeviceOp::Kind::kLoadBatch ||
-                          kind == DeviceOp::Kind::kStoreBatch;
-      if (is_mem && IsSharedAddr(lane.pending.addr) != shared_space) continue;
-      group_.push_back(&lane);
     }
-    if (group_.empty()) break;
+    remaining = keep;
     ++groups;
     processed_any = true;
     // One stats sink per issue group: lanes of a group share an op and —
@@ -236,8 +270,12 @@ std::uint64_t Warp::IssueMemoryGroup(std::span<Lane*> group, bool is_store,
   const bool shared_space = IsSharedAddr(group.front()->pending.addr);
   Memcheck* const memcheck = lc_->config.memcheck;
 
-  // Functional effect at issue time, in lane order. The sanitizer vetoes
-  // accesses without live backing storage (the timing charge still applies).
+  // Single pass: functional effect at issue time (in lane order — the
+  // sanitizer vetoes accesses without live backing storage; the timing
+  // charge still applies) fused with the timing-input gather.
+  accesses_.clear();
+  shared_addrs_.clear();
+  std::uint64_t total_bytes = 0;
   for (Lane* lane : group) {
     DeviceOp& op = lane->pending;
     const bool allowed =
@@ -248,23 +286,20 @@ std::uint64_t Warp::IssueMemoryGroup(std::span<Lane*> group, bool is_store,
     } else {
       lane->pending_result = allowed ? ReadBits(op.host, op.bytes) : 0;
     }
+    if (shared_space) {
+      shared_addrs_.push_back(op.addr - kSharedBase);
+    } else {
+      accesses_.push_back({op.addr, op.bytes});
+      total_bytes += op.bytes;
+    }
   }
 
-  if (shared_space) {
-    std::vector<std::uint64_t> addrs;
-    addrs.reserve(group.size());
-    for (Lane* lane : group) addrs.push_back(lane->pending.addr - kSharedBase);
-    return lc_->memsys.AccessShared(addrs, t, stats);
-  }
+  if (shared_space) return lc_->memsys.AccessShared(shared_addrs_, t, stats);
 
-  std::vector<LaneAccess> accesses;
-  accesses.reserve(group.size());
-  for (Lane* lane : group) {
-    accesses.push_back({lane->pending.addr, lane->pending.bytes});
-  }
-  CoalesceSectors(accesses, lc_->spec.sector_bytes, sectors_);
+  CoalesceSectors(accesses_, lc_->spec.sector_bytes, sectors_);
   stats.global_sectors += sectors_.size();
-  stats.ideal_sectors += IdealSectorCount(accesses, lc_->spec.sector_bytes);
+  stats.ideal_sectors +=
+      IdealSectorCountForBytes(total_bytes, lc_->spec.sector_bytes);
   return lc_->memsys.Access(block_->sm()->id(), sectors_, is_store, t, stats);
 }
 
@@ -275,7 +310,8 @@ std::uint64_t Warp::IssueBatchGroup(std::span<Lane*> group, std::uint64_t t,
   // only one latency trip — the scoreboarded-MLP behaviour of streaming
   // code.
   Memcheck* const memcheck = lc_->config.memcheck;
-  std::vector<LaneAccess> accesses;
+  accesses_.clear();
+  std::uint64_t total_bytes = 0;
   for (Lane* lane : group) {
     DeviceOp& op = lane->pending;
     for (std::uint32_t i = 0; i < op.batch_count; ++i) {
@@ -291,19 +327,26 @@ std::uint64_t Warp::IssueBatchGroup(std::span<Lane*> group, std::uint64_t t,
       } else {
         slot.result = allowed ? ReadBits(slot.host, slot.bytes) : 0;
       }
-      accesses.push_back({slot.addr, slot.bytes});
+      accesses_.push_back({slot.addr, slot.bytes});
+      total_bytes += slot.bytes;
     }
   }
-  CoalesceSectors(accesses, lc_->spec.sector_bytes, sectors_);
+  CoalesceSectors(accesses_, lc_->spec.sector_bytes, sectors_);
   stats.global_sectors += sectors_.size();
-  stats.ideal_sectors += IdealSectorCount(accesses, lc_->spec.sector_bytes);
+  stats.ideal_sectors +=
+      IdealSectorCountForBytes(total_bytes, lc_->spec.sector_bytes);
   return lc_->memsys.Access(block_->sm()->id(), sectors_, is_store, t, stats);
 }
 
 std::uint64_t Warp::IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t,
                                      LaunchStats& stats) {
   Memcheck* const memcheck = lc_->config.memcheck;
-  // Functional read-modify-write in lane order (deterministic).
+  const bool shared_space = IsSharedAddr(group.front()->pending.addr);
+  // Functional read-modify-write in lane order (deterministic), fused with
+  // the timing-input gather.
+  accesses_.clear();
+  shared_addrs_.clear();
+  std::uint64_t total_bytes = 0;
   for (Lane* lane : group) {
     DeviceOp& op = lane->pending;
     const bool allowed =
@@ -311,21 +354,21 @@ std::uint64_t Warp::IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t,
         memcheck->CheckAccess(*lane, op.kind, op.addr, op.bytes,
                               /*is_write=*/true);
     lane->pending_result = allowed ? op.apply(op.host, op.bits) : 0;
+    if (shared_space) {
+      shared_addrs_.push_back(op.addr - kSharedBase);
+    } else {
+      accesses_.push_back({op.addr, op.bytes});
+      total_bytes += op.bytes;
+    }
   }
-  const bool shared_space = IsSharedAddr(group.front()->pending.addr);
   std::uint64_t t_end;
   if (shared_space) {
-    std::vector<std::uint64_t> addrs;
-    for (Lane* lane : group) addrs.push_back(lane->pending.addr - kSharedBase);
-    t_end = lc_->memsys.AccessShared(addrs, t, stats);
+    t_end = lc_->memsys.AccessShared(shared_addrs_, t, stats);
   } else {
-    std::vector<LaneAccess> accesses;
-    for (Lane* lane : group) {
-      accesses.push_back({lane->pending.addr, lane->pending.bytes});
-    }
-    CoalesceSectors(accesses, lc_->spec.sector_bytes, sectors_);
+    CoalesceSectors(accesses_, lc_->spec.sector_bytes, sectors_);
     stats.global_sectors += sectors_.size();
-    stats.ideal_sectors += IdealSectorCount(accesses, lc_->spec.sector_bytes);
+    stats.ideal_sectors +=
+        IdealSectorCountForBytes(total_bytes, lc_->spec.sector_bytes);
     t_end = lc_->memsys.Access(block_->sm()->id(), sectors_, /*is_store=*/true,
                                t, stats);
   }

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "gpusim/coalesce.h"
 #include "gpusim/lane.h"
 
 namespace dgc::sim {
@@ -39,6 +40,13 @@ class Warp {
   std::uint32_t id() const { return warp_id_; }
   Block* block() const { return block_; }
 
+  /// Engine bookkeeping for duplicate wake-up suppression (engine.cpp):
+  /// the time of one not-yet-dispatched queued wake, or kNoQueuedWake.
+  static constexpr std::uint64_t kNoQueuedWake = ~std::uint64_t(0);
+  std::uint64_t queued_wake() const { return queued_wake_; }
+  void set_queued_wake(std::uint64_t t) { queued_wake_ = t; }
+  void clear_queued_wake() { queued_wake_ = kNoQueuedWake; }
+
  private:
   /// Resumes runnable lanes to their next suspension; reports terminations.
   bool ResumePhase(std::uint64_t now);
@@ -65,10 +73,17 @@ class Warp {
   std::span<Lane> lanes_;
   LaunchContext* lc_;
 
-  // Scratch buffers reused across turns (no per-turn allocation).
+  // Scratch buffers reused across turns (no per-turn allocation). The
+  // issue helpers run to completion inside one turn, so one buffer of each
+  // shape serves every group.
   std::vector<Lane*> group_;
+  std::vector<Lane*> pending_lanes_;  ///< not-yet-issued candidates, lane order
   std::vector<Lane*> processed_;
   std::vector<std::uint64_t> sectors_;
+  std::vector<LaneAccess> accesses_;
+  std::vector<std::uint64_t> shared_addrs_;
+
+  std::uint64_t queued_wake_ = kNoQueuedWake;
 };
 
 }  // namespace dgc::sim

@@ -67,6 +67,38 @@ TEST(SectorCache, StreamingNeverHits) {
   for (std::uint64_t s = 0; s < 10000; ++s) EXPECT_FALSE(cache.Access(s));
 }
 
+TEST(SectorCache, NonPowerOfTwoSetsStillIndexCorrectly) {
+  // 3 sets × 2 ways: the masked fast path does not apply, indexing falls
+  // back to modulo. Same-set conflicts must follow sector % 3.
+  SectorCache cache(3 * 2 * 32, 32, 2);
+  ASSERT_EQ(cache.sets(), 3u);
+  cache.Access(0);
+  cache.Access(3);
+  cache.Access(6);  // third resident of set 0 evicts LRU (0)
+  EXPECT_FALSE(cache.Probe(0));
+  EXPECT_TRUE(cache.Probe(3));
+  EXPECT_TRUE(cache.Probe(6));
+  cache.Access(1);  // set 1: untouched by the set-0 traffic
+  EXPECT_TRUE(cache.Probe(3));
+  EXPECT_TRUE(cache.Probe(6));
+}
+
+// Property: with power-of-two sets the masked index must behave exactly
+// like modulo — same-set residency groups are the sectors congruent mod
+// sets, including ids far above 2^32 (the mask applies to the low bits).
+TEST(SectorCacheProperty, MaskedIndexMatchesModulo) {
+  SectorCache cache(8 * 2 * 32, 32, 2);  // 8 sets × 2 ways
+  ASSERT_EQ(cache.sets(), 8u);
+  const std::uint64_t big = (std::uint64_t(1) << 40) + 5;  // set 5
+  cache.Access(big);
+  cache.Access(5);        // same set, different tag
+  EXPECT_TRUE(cache.Probe(big));
+  EXPECT_TRUE(cache.Probe(5));
+  cache.Access(8 * 7 + 5);  // same set: third tag evicts LRU (big)
+  EXPECT_FALSE(cache.Probe(big));
+  EXPECT_TRUE(cache.Probe(5));
+}
+
 // Property: hits + misses == accesses for any access pattern.
 TEST(SectorCacheProperty, AccountingConsistent) {
   SectorCache cache(32 * 32, 32, 2);

@@ -110,6 +110,87 @@ TEST(CoalesceProperty, SectorCountBounds) {
   }
 }
 
+// --- Fast path == scalar reference ------------------------------------------
+//
+// CoalesceSectors carries shape-dependent shortcuts (direct sector-run for
+// unit-stride warps, sort elision for pre-sorted patterns); its contract
+// is bit-identical output to CoalesceSectorsScalar for EVERY input.
+
+std::vector<std::uint64_t> ScalarSectors(
+    const std::vector<LaneAccess>& accesses) {
+  std::vector<std::uint64_t> out;
+  CoalesceSectorsScalar(accesses, kSector, out);
+  return out;
+}
+
+TEST(CoalesceFastPath, MatchesScalarOnCanonicalShapes) {
+  const std::vector<std::vector<LaneAccess>> shapes = {
+      {},                                   // empty
+      {{0x1000, 8}},                        // single lane
+      std::vector<LaneAccess>(32, LaneAccess{0x2000, 4}),  // broadcast
+      std::vector<LaneAccess>(32, LaneAccess{0, 0}),       // all inactive
+  };
+  for (const auto& accesses : shapes) {
+    EXPECT_EQ(Sectors(accesses), ScalarSectors(accesses));
+  }
+  // Full-warp unit stride at several widths and (mis)alignments — the
+  // direct-run fast path.
+  for (const std::uint32_t bytes : {1u, 4u, 8u, 16u, 32u, 48u}) {
+    for (const std::uint64_t base : {0x10000ull, 0x10003ull, 0x1001cull}) {
+      std::vector<LaneAccess> accesses;
+      for (int i = 0; i < 32; ++i) {
+        accesses.push_back({base + std::uint64_t(i) * bytes, bytes});
+      }
+      EXPECT_EQ(Sectors(accesses), ScalarSectors(accesses))
+          << "bytes=" << bytes << " base=" << base;
+    }
+  }
+}
+
+TEST(CoalesceFastPathProperty, MatchesScalarOnRandomizedPatterns) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<LaneAccess> accesses;
+    const std::uint32_t lanes = 1 + rng.NextBounded(32);
+    const std::uint32_t mode = rng.NextBounded(4);
+    for (std::uint32_t i = 0; i < lanes; ++i) {
+      std::uint32_t bytes = 1u << rng.NextBounded(6);
+      std::uint64_t addr = 0;
+      switch (mode) {
+        case 0:  // strided (ascending, possibly gappy)
+          addr = 0x40000 + std::uint64_t(i) * (8 + rng.NextBounded(256));
+          break;
+        case 1:  // overlapping / duplicated
+          addr = 0x40000 + rng.NextBounded(64);
+          break;
+        case 2:  // misaligned scattered
+          addr = 0x40000 + rng.NextBounded(1 << 18) + rng.NextBounded(31);
+          break;
+        default:  // mixed with inactive (zero-byte) lanes
+          addr = 0x40000 + rng.NextBounded(4096);
+          if (rng.NextBounded(3) == 0) bytes = 0;
+          break;
+      }
+      accesses.push_back({addr, bytes});
+    }
+    EXPECT_EQ(Sectors(accesses), ScalarSectors(accesses))
+        << "trial=" << trial << " mode=" << mode;
+  }
+}
+
+TEST(CoalesceFastPath, ToggleRoutesThroughScalar) {
+  std::vector<LaneAccess> accesses;
+  for (int i = 0; i < 32; ++i) {
+    accesses.push_back({0x10000 + std::uint64_t(i) * 8, 8});
+  }
+  ASSERT_TRUE(CoalesceFastPathEnabled());
+  const bool was = SetCoalesceFastPath(false);
+  EXPECT_TRUE(was);
+  EXPECT_FALSE(CoalesceFastPathEnabled());
+  EXPECT_EQ(Sectors(accesses), ScalarSectors(accesses));
+  SetCoalesceFastPath(true);
+}
+
 // Property: merging two warps' accesses never yields fewer sectors than the
 // union of their separate coalescing results would suggest (sub-additivity).
 TEST(CoalesceProperty, SubAdditivity) {

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Gate a google-benchmark run against the checked-in BENCH_sim_speed.json.
+
+Usage:
+    check_bench.py BASELINE_JSON RESULT_JSON [--key release_lto]
+                   [--tolerance PCT]
+
+BASELINE_JSON is the repo's BENCH_sim_speed.json (schema dgc-bench-v1).
+RESULT_JSON is `micro_benchmarks --benchmark_format=json` output; aggregate
+entries (--benchmark_report_aggregates_only) are preferred — the `_median`
+rows are used when present, otherwise the plain per-repetition rows.
+
+A point regresses when its measured time exceeds the baseline by more than
+the tolerance (the baseline's `tolerance_pct` unless overridden). Exit code
+is 1 if any point regresses, else 0. Faster-than-baseline points are
+reported but never fail — refresh the baseline when they persist.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path, bench_name):
+    """Returns {instance_count: time_ms} from google-benchmark JSON."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("benchmarks", [])
+    medians = {}
+    plain = {}
+    for row in rows:
+        name = row.get("name", "")
+        if not name.startswith(bench_name + "/"):
+            continue
+        time_ms = float(row["real_time"])
+        unit = row.get("time_unit", "ms")
+        if unit == "ns":
+            time_ms /= 1e6
+        elif unit == "us":
+            time_ms /= 1e3
+        if name.endswith("_median"):
+            arg = name[len(bench_name) + 1:].split("_")[0]
+            medians[arg] = time_ms
+        elif "_" not in name[len(bench_name) + 1:]:
+            arg = name[len(bench_name) + 1:]
+            # Plain rows repeat per repetition; keep the minimum (least
+            # scheduler noise) when no aggregate rows exist.
+            plain[arg] = min(plain.get(arg, float("inf")), time_ms)
+    return medians if medians else plain
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("results")
+    ap.add_argument("--key", default="release_lto",
+                    help="baseline table to gate against (default: %(default)s)")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="allowed regression in percent "
+                         "(default: baseline tolerance_pct)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base_doc = json.load(f)
+    if base_doc.get("schema") != "dgc-bench-v1":
+        sys.exit(f"error: {args.baseline} is not a dgc-bench-v1 document")
+    bench_name = base_doc["benchmark"]
+    baseline = base_doc[args.key]
+    tol = args.tolerance if args.tolerance is not None \
+        else float(base_doc.get("tolerance_pct", 15))
+
+    results = load_results(args.results, bench_name)
+    if not results:
+        sys.exit(f"error: no '{bench_name}' rows in {args.results}")
+
+    failed = []
+    print(f"{bench_name} vs {args.baseline}:{args.key} "
+          f"(tolerance {tol:.0f}%)")
+    for arg in sorted(baseline, key=int):
+        base = float(baseline[arg])
+        if arg not in results:
+            print(f"  /{arg}: MISSING from results")
+            failed.append(arg)
+            continue
+        got = results[arg]
+        delta = (got - base) / base * 100.0
+        verdict = "ok"
+        if delta > tol:
+            verdict = "REGRESSION"
+            failed.append(arg)
+        elif delta < -tol:
+            verdict = "faster (refresh baseline?)"
+        print(f"  /{arg}: baseline={base:.2f}ms measured={got:.2f}ms "
+              f"({delta:+.1f}%) {verdict}")
+
+    if failed:
+        print(f"FAIL: {len(failed)} point(s) regressed beyond {tol:.0f}%: "
+              f"{', '.join('/' + a for a in failed)}")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
