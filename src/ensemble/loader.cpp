@@ -57,7 +57,6 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
     return Status(ErrorCode::kInvalidArgument,
                   "EnsembleOptions::max_attempts must be positive");
   }
-
   const std::uint32_t available = std::uint32_t(options.instance_args.size());
   const std::uint32_t ni =
       options.num_instances == 0 ? available : options.num_instances;
@@ -67,6 +66,12 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
         StrFormat("requested %u instances but the argument file provides "
                   "only %u lines",
                   ni, available));
+  }
+  if (!options.instance_watchdogs.empty() &&
+      options.instance_watchdogs.size() != ni) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "EnsembleOptions::instance_watchdogs must be empty or have "
+                  "one entry per instance");
   }
   const std::uint32_t teams = options.num_teams == 0 ? ni : options.num_teams;
   if (teams > ni) {
@@ -186,8 +191,13 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
             inst.reason = dgcf::TerminationReason::kNotStarted;
             inst.detail.clear();
             const std::uint64_t t0 = team.hw->Now();
-            if (options.instance_watchdog_cycles != 0) {
-              team.hw->ArmRowWatchdog(options.instance_watchdog_cycles);
+            const std::uint64_t inst_budget =
+                i < options.instance_watchdogs.size() &&
+                        options.instance_watchdogs[i] != 0
+                    ? options.instance_watchdogs[i]
+                    : options.instance_watchdog_cycles;
+            if (inst_budget != 0) {
+              team.hw->ArmRowWatchdog(inst_budget);
             }
             bool contained = false;
             try {
@@ -204,7 +214,7 @@ StatusOr<dgcf::RunResult> RunEnsemble(dgcf::AppEnv& env,
               inst.detail = e.what();
               contained = true;
             }
-            if (options.instance_watchdog_cycles != 0) {
+            if (inst_budget != 0) {
               team.hw->ArmRowWatchdog(0);  // disarm for the next instance
             }
             inst.cycles += team.hw->Now() - t0;
@@ -356,6 +366,17 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
   options.max_attempts = std::uint32_t(retry);
   options.retry_shrink = std::uint32_t(retry_shrink);
   options.share_data = share_data == "on";
+
+  // Validate (and build) the fault plan before touching the argument file:
+  // a bad --inject spec is a usage error and must fail before any work. A
+  // fresh plan per run keeps count-based faults deterministic; it is wired
+  // into the heap and the RPC ring below and detached before it goes out of
+  // scope.
+  sim::FaultPlan plan;
+  if (!inject.empty()) {
+    DGC_ASSIGN_OR_RETURN(plan, sim::FaultPlan::Parse(inject));
+  }
+
   if (script) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -369,12 +390,7 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
     DGC_ASSIGN_OR_RETURN(options.instance_args, LoadArgumentFile(file));
   }
 
-  // A fresh plan per run keeps count-based faults deterministic; it is
-  // wired into the heap and the RPC ring for the duration of the run and
-  // detached before the plan goes out of scope.
-  sim::FaultPlan plan;
   if (!inject.empty()) {
-    DGC_ASSIGN_OR_RETURN(plan, sim::FaultPlan::Parse(inject));
     options.faults = &plan;
     if (env.libc != nullptr) env.libc->set_fault_plan(&plan);
     if (env.rpc != nullptr) env.rpc->set_fault_plan(&plan);

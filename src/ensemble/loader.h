@@ -57,6 +57,13 @@ struct EnsembleOptions {
   /// Per-instance watchdog: cycles one instance may run before its team's
   /// lanes trap. 0 (default) disables; the launch budget still applies.
   std::uint64_t instance_watchdog_cycles = 0;
+  /// Optional per-instance overrides of the watchdog budget, indexed by
+  /// instance id: entry I (when nonzero) replaces instance_watchdog_cycles
+  /// for instance I. Must be empty or have one entry per instance. A
+  /// job-stream scheduler uses this to layer per-job deadline budgets on
+  /// the watchdog machinery — each packed job gets its own remaining
+  /// budget instead of the batch minimum.
+  std::vector<std::uint64_t> instance_watchdogs;
   /// Total launch waves an abnormally-terminated instance may consume
   /// (first run + retries). 1 = no retry. Instances that *returned* with a
   /// nonzero exit code completed execution and are never retried.

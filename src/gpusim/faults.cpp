@@ -24,18 +24,15 @@ std::string_view ToString(LaunchOutcome outcome) {
   return "unknown";
 }
 
-namespace {
-
-/// Deterministic per-ordinal coin flip: hashing (seed, stream, ordinal)
-/// keeps the decision independent of evaluation order, so the same plan
-/// fails the same calls no matter how clauses interleave.
-bool SeededFlip(std::uint64_t seed, std::uint64_t stream, std::uint64_t ordinal,
-                double p) {
+bool FaultPlan::SeededFlip(std::uint64_t seed, std::uint64_t stream,
+                           std::uint64_t ordinal, double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   SplitMix64 mix(seed ^ (stream * 0x9e3779b97f4a7c15ULL) ^ ordinal);
   return double(mix.Next() >> 11) * 0x1.0p-53 < p;
 }
+
+namespace {
 
 bool Contains(const std::vector<std::uint64_t>& v, std::uint64_t x) {
   for (std::uint64_t e : v) {

@@ -119,6 +119,30 @@ struct FaultPlan {
   static StatusOr<FaultPlan> Parse(std::string_view spec);
   /// Canonical spec string (parseable by Parse; "" for an empty plan).
   std::string ToString() const;
+
+  // --- Service-level plan construction --------------------------------------
+  // A scheduler that packs jobs into launches compiles its per-job fault
+  // decisions down to this launch-level vocabulary: job slot S becomes a
+  // trap or slowdown on the block running S. These helpers build such
+  // plans programmatically (the spec grammar stays the human front end).
+
+  /// Appends a trap site (fires once, like a parsed `trap@` clause).
+  void AddTrap(std::uint32_t block, std::uint32_t warp, std::uint64_t cycle) {
+    traps.push_back(TrapSite{block, warp, cycle, false});
+  }
+  /// Appends a compute slowdown for `block` (factor >= 1).
+  void AddSlowdown(std::uint32_t block, std::uint64_t factor) {
+    slowdowns.push_back(Slowdown{block, factor == 0 ? 1 : factor});
+  }
+
+  /// The deterministic per-ordinal coin flip behind the probabilistic
+  /// clauses: hashing (seed, stream, ordinal) keeps each decision
+  /// independent of evaluation order. Streams 1 (malloc) and 2 (rpc) are
+  /// taken by this plan's own clauses; service-level plans draw from
+  /// streams >= 16 so their decisions never correlate with launch-level
+  /// injection under a shared seed.
+  static bool SeededFlip(std::uint64_t seed, std::uint64_t stream,
+                         std::uint64_t ordinal, double p);
 };
 
 }  // namespace dgc::sim

@@ -1,0 +1,65 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "gpusim/kernel.h"
+#include "gpusim/occupancy.h"
+
+namespace dgc::serve {
+
+Status AdmissionController::Init(const sim::DeviceSpec& spec,
+                                 std::uint32_t thread_limit,
+                                 std::uint32_t teams_per_block) {
+  sim::LaunchConfig shape;
+  shape.grid = {1, 1, 1};
+  shape.block = {thread_limit, teams_per_block, 1};
+  DGC_ASSIGN_OR_RETURN(sim::Occupancy occ, sim::ComputeOccupancy(spec, shape));
+  // One job per team; teams_per_block teams ride each resident block.
+  const std::uint64_t cap = occ.resident_blocks * teams_per_block;
+  team_cap_ = std::uint32_t(std::max<std::uint64_t>(1, cap));
+  return Status::Ok();
+}
+
+std::uint32_t AdmissionController::batch_cap() const {
+  if (config_.max_batch == 0) return team_cap_;
+  return std::min(team_cap_, config_.max_batch);
+}
+
+std::uint64_t AdmissionController::MemoryBudget(
+    std::uint64_t capacity, std::uint64_t bytes_in_use) const {
+  const std::uint64_t planned = std::uint64_t(double(capacity) *
+                                              std::clamp(config_.headroom,
+                                                         0.0, 1.0));
+  return planned > bytes_in_use ? planned - bytes_in_use : 0;
+}
+
+std::uint64_t AdmissionController::EstimateFor(const std::string& app) const {
+  auto it = estimates_.find(app);
+  if (it != estimates_.end() && it->second.full != 0) return it->second.full;
+  return config_.default_estimate;
+}
+
+std::uint64_t AdmissionController::AttachEstimateFor(
+    const std::string& app) const {
+  auto it = estimates_.find(app);
+  if (it != estimates_.end() && it->second.attach != 0) {
+    return it->second.attach;
+  }
+  // Never observed: attaching skips the input copy, so plan a fraction of
+  // the full footprint until a measurement arrives.
+  return std::max<std::uint64_t>(1, EstimateFor(app) / 4);
+}
+
+void AdmissionController::Observe(const std::string& app,
+                                  std::uint64_t peak_bytes) {
+  Estimate& e = estimates_[app];
+  e.full = std::max(e.full, Padded(peak_bytes));
+}
+
+void AdmissionController::ObserveAttach(const std::string& app,
+                                        std::uint64_t peak_bytes) {
+  Estimate& e = estimates_[app];
+  e.attach = std::max(e.attach, Padded(peak_bytes));
+}
+
+}  // namespace dgc::serve

@@ -1,0 +1,84 @@
+// Admission control: how many jobs fit one launch, and in how much memory.
+//
+// Two independent caps bound each ensemble launch the scheduler packs:
+//
+//  - Occupancy (gpusim/occupancy.h): the device's co-resident block slots
+//    at the service's launch shape bound the teams one wave can run
+//    without oversubscription — the §3.1 "instances limited by teams"
+//    argument, applied at admission time.
+//
+//  - Device memory: each packed job is charged an estimated footprint
+//    against the device's remaining budget (capacity × headroom minus
+//    bytes already in use — leaked bytes shrink future budgets, which is
+//    graceful degradation, not a crash). Estimates start at a configured
+//    default and are tightened by observation: every finished instance
+//    feeds its measured peak back (PR 5's per-owner accounting). With
+//    shared read-only data on, duplicate jobs of an identical argv are
+//    charged the much smaller *attach* estimate — the admission-side
+//    mirror of content-keyed shared segments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "gpusim/device_spec.h"
+#include "support/status.h"
+
+namespace dgc::serve {
+
+struct AdmissionConfig {
+  /// Hard cap on jobs per launch; 0 = occupancy cap only.
+  std::uint32_t max_batch = 0;
+  /// Footprint charged for an app never observed before, bytes.
+  std::uint64_t default_estimate = 1 << 20;
+  /// Fraction of device memory the scheduler may plan into.
+  double headroom = 0.9;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config)
+      : config_(config) {}
+
+  /// Computes the occupancy team cap for the service's launch shape.
+  Status Init(const sim::DeviceSpec& spec, std::uint32_t thread_limit,
+              std::uint32_t teams_per_block);
+
+  /// Max teams (= jobs at one job per team) a launch may carry.
+  std::uint32_t team_cap() const { return team_cap_; }
+  /// Max jobs per launch after the configured batch cap.
+  std::uint32_t batch_cap() const;
+
+  /// Planning budget for a device currently using `bytes_in_use` of
+  /// `capacity` bytes: headroom × capacity − in-use (0 when exhausted).
+  std::uint64_t MemoryBudget(std::uint64_t capacity,
+                             std::uint64_t bytes_in_use) const;
+
+  /// Estimated full footprint of one `app` job.
+  std::uint64_t EstimateFor(const std::string& app) const;
+  /// Estimated footprint of a job that re-attaches shared input data.
+  std::uint64_t AttachEstimateFor(const std::string& app) const;
+
+  /// Feeds back a finished instance's measured peak (full materialization).
+  void Observe(const std::string& app, std::uint64_t peak_bytes);
+  /// Feeds back the measured peak of an instance that attached to an
+  /// existing shared segment instead of materializing its own copy.
+  void ObserveAttach(const std::string& app, std::uint64_t peak_bytes);
+
+ private:
+  struct Estimate {
+    std::uint64_t full = 0;    ///< 0 = never observed
+    std::uint64_t attach = 0;  ///< 0 = never observed
+  };
+
+  /// Padded estimate: observed peak + 1/8 — tight enough to pack well,
+  /// padded enough that run-to-run jitter does not oscillate admission.
+  static std::uint64_t Padded(std::uint64_t peak) { return peak + peak / 8; }
+
+  AdmissionConfig config_;
+  std::uint32_t team_cap_ = 1;
+  std::map<std::string, Estimate> estimates_;
+};
+
+}  // namespace dgc::serve

@@ -1,0 +1,29 @@
+#include "serve/job.h"
+
+namespace dgc::serve {
+
+std::string_view ToString(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::kPending: return "pending";
+    case JobOutcome::kSucceeded: return "succeeded";
+    case JobOutcome::kAppError: return "app-error";
+    case JobOutcome::kFailed: return "failed";
+    case JobOutcome::kDeadlineMissed: return "deadline-missed";
+    case JobOutcome::kRejected: return "rejected";
+    case JobOutcome::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+std::string_view ToString(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue-full";
+    case RejectReason::kMalformed: return "malformed";
+    case RejectReason::kQuarantined: return "quarantined";
+    case RejectReason::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+}  // namespace dgc::serve

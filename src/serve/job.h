@@ -1,0 +1,88 @@
+// Job model for the ensemble service (dgc-serve).
+//
+// The paper's loader consumes a static batch; the service consumes a
+// *stream* of jobs — each one app invocation (app + argv) with optional
+// deadline budget and priority — and packs compatible jobs into ensemble
+// launches. A JobRecord tracks one job from submission to its terminal
+// outcome; the scheduler's outcome log and final report are derived from
+// these records, so the full lifecycle vocabulary lives here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dgc::serve {
+
+using JobId = std::uint32_t;
+
+/// Terminal state of one job. Only kSucceeded/kAppError/kFailed/
+/// kDeadlineMissed jobs were admitted; the service exit code is nonzero
+/// iff any *admitted* job ended in kAppError/kFailed/kDeadlineMissed
+/// (rejections are backpressure, not failures; cancellations are drain).
+enum class JobOutcome : std::uint8_t {
+  kPending = 0,
+  kSucceeded,       ///< completed execution, exit code 0
+  kAppError,        ///< completed execution, nonzero exit code (no retry)
+  kFailed,          ///< abnormal termination, retries exhausted (or none)
+  kDeadlineMissed,  ///< deadline budget expired (queued or running)
+  kRejected,        ///< never admitted (see RejectReason)
+  kCancelled,       ///< admitted but still queued when the drain began
+};
+
+/// Why a submission was turned away at the door.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kQueueFull,     ///< bounded queue at capacity — explicit backpressure
+  kMalformed,     ///< unparseable/unregistered job (includes injected chaos)
+  kQuarantined,   ///< the app's circuit breaker is open
+  kDraining,      ///< the service is shutting down
+};
+
+std::string_view ToString(JobOutcome outcome);
+std::string_view ToString(RejectReason reason);
+
+/// One unit of work: a single app invocation.
+struct Job {
+  JobId id = 0;              ///< dense submission index (log key)
+  std::uint64_t ordinal = 0; ///< 1-based submission ordinal (chaos key)
+  std::string app;           ///< registered application name
+  std::vector<std::string> args;  ///< argv[1..] for the instance
+  std::int64_t priority = 0; ///< higher = dispatched first (FIFO within)
+  std::uint64_t arrival = 0; ///< service cycle the job arrived
+  /// Absolute service cycle by which the job must finish; 0 = none. The
+  /// scheduler lowers the remaining budget onto the instance watchdog at
+  /// launch time.
+  std::uint64_t deadline = 0;
+  // --- Chaos decisions (stamped deterministically at arrival) --------------
+  bool chaos_trap = false;        ///< compile an injected trap into the launch
+  std::uint64_t chaos_slow = 1;   ///< compute slowdown factor (1 = none)
+};
+
+/// A job plus its lifecycle state. Indexed by JobId in the scheduler.
+struct JobRecord {
+  Job job;
+  JobOutcome outcome = JobOutcome::kPending;
+  RejectReason reject = RejectReason::kNone;
+  bool admitted = false;          ///< made it past admission into the queue
+  std::uint32_t attempts = 0;     ///< service-level launch attempts consumed
+  int exit_code = 0;              ///< valid when the instance returned
+  std::string detail;             ///< failure detail (trap message, reason)
+  std::uint64_t finish_cycle = 0; ///< service cycle of the terminal event
+  std::uint64_t cycles = 0;       ///< device cycles the job consumed
+};
+
+/// One parsed line of a job stream, before admission. `at` is the earliest
+/// service cycle the job may arrive (clamped to be monotonically
+/// non-decreasing across the stream); `deadline_budget` is relative to the
+/// arrival cycle (0 = no deadline).
+struct JobRequest {
+  std::string app;
+  std::vector<std::string> args;
+  std::int64_t priority = 0;
+  std::uint64_t at = 0;
+  std::uint64_t deadline_budget = 0;
+};
+
+}  // namespace dgc::serve

@@ -1,0 +1,44 @@
+#include "serve/queue.h"
+
+#include <algorithm>
+
+namespace dgc::serve {
+
+Status BoundedJobQueue::Push(JobId id, std::int64_t priority) {
+  if (Full()) {
+    return Status(ErrorCode::kFailedPrecondition, "job queue at capacity");
+  }
+  entries_.push_back(Entry{id, priority, next_seq_++});
+  peak_depth_ = std::max(peak_depth_, entries_.size());
+  return Status::Ok();
+}
+
+bool BoundedJobQueue::Remove(JobId id) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) {
+      entries_.erase(entries_.begin() + std::ptrdiff_t(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<JobId> BoundedJobQueue::OrderedIds() const {
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.seq < b.seq;
+  });
+  std::vector<JobId> ids;
+  ids.reserve(sorted.size());
+  for (const Entry& e : sorted) ids.push_back(e.id);
+  return ids;
+}
+
+std::vector<JobId> BoundedJobQueue::TakeAll() {
+  std::vector<JobId> ids = OrderedIds();
+  entries_.clear();
+  return ids;
+}
+
+}  // namespace dgc::serve

@@ -1,0 +1,58 @@
+// The bounded job queue: backpressure made explicit.
+//
+// A production service must never let its backlog grow without bound — an
+// overload burst is answered with a *reject-with-reason*, not with memory
+// growth and eventual collapse. This queue holds admitted-but-not-yet-
+// launched job ids, refuses pushes at capacity, and hands the scheduler a
+// deterministic dispatch order: priority descending, FIFO within a
+// priority level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/job.h"
+#include "support/status.h"
+
+namespace dgc::serve {
+
+class BoundedJobQueue {
+ public:
+  explicit BoundedJobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  bool Empty() const { return entries_.empty(); }
+  bool Full() const { return entries_.size() >= capacity_; }
+  /// High-water mark of the queue depth over the service lifetime.
+  std::size_t peak_depth() const { return peak_depth_; }
+
+  /// Enqueues a job; kFailedPrecondition at capacity (the caller turns
+  /// that into a kQueueFull rejection — the queue itself never grows past
+  /// its bound).
+  Status Push(JobId id, std::int64_t priority);
+
+  /// Removes one job (dispatched, expired, or cancelled). False when the
+  /// id is not queued.
+  bool Remove(JobId id);
+
+  /// Job ids in dispatch order: priority descending, then enqueue order.
+  std::vector<JobId> OrderedIds() const;
+
+  /// Removes and returns every queued id (dispatch order) — the drain path.
+  std::vector<JobId> TakeAll();
+
+ private:
+  struct Entry {
+    JobId id = 0;
+    std::int64_t priority = 0;
+    std::uint64_t seq = 0;  ///< enqueue order, the FIFO tiebreak
+  };
+
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t peak_depth_ = 0;
+  std::vector<Entry> entries_;  ///< unordered; OrderedIds sorts a copy
+};
+
+}  // namespace dgc::serve

@@ -1,0 +1,90 @@
+#include "serve/stream.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "ensemble/argfile.h"
+#include "support/str.h"
+
+namespace dgc::serve {
+
+namespace {
+
+Status BadLine(const std::vector<std::string>& tokens, const char* why) {
+  return Status(ErrorCode::kInvalidArgument,
+                StrFormat("bad job line '%s': %s",
+                          Join(tokens, " ").c_str(), why));
+}
+
+/// Parses the value of "@name=<n>" into a non-negative integer.
+StatusOr<std::int64_t> DirectiveValue(std::string_view token,
+                                      std::string_view name,
+                                      const std::vector<std::string>& tokens) {
+  const std::string_view value = token.substr(name.size());
+  auto v = ParseInt(value);
+  if (!v.ok() || *v < 0) {
+    return BadLine(tokens, "directive value must be a non-negative integer");
+  }
+  return *v;
+}
+
+}  // namespace
+
+StatusOr<JobRequest> ParseJobTokens(const std::vector<std::string>& tokens) {
+  JobRequest request;
+  std::size_t i = 0;
+  for (; i < tokens.size(); ++i) {
+    const std::string_view t = tokens[i];
+    if (t.empty() || t[0] != '@') break;
+    if (t.rfind("@at=", 0) == 0) {
+      DGC_ASSIGN_OR_RETURN(std::int64_t v, DirectiveValue(t, "@at=", tokens));
+      request.at = std::uint64_t(v);
+    } else if (t.rfind("@deadline=", 0) == 0) {
+      DGC_ASSIGN_OR_RETURN(std::int64_t v,
+                           DirectiveValue(t, "@deadline=", tokens));
+      request.deadline_budget = std::uint64_t(v);
+    } else if (t.rfind("@prio=", 0) == 0) {
+      const std::string_view value = t.substr(6);
+      auto v = ParseInt(value);
+      if (!v.ok()) return BadLine(tokens, "@prio= must be an integer");
+      request.priority = *v;
+    } else {
+      return BadLine(tokens, "unknown directive (@at=, @deadline=, @prio=)");
+    }
+  }
+  if (i == tokens.size()) {
+    return BadLine(tokens, "missing app name after directives");
+  }
+  request.app = tokens[i++];
+  request.args.assign(tokens.begin() + std::ptrdiff_t(i), tokens.end());
+  return request;
+}
+
+StatusOr<std::vector<JobRequest>> ParseJobStream(std::string_view content) {
+  DGC_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                       ensemble::ParseArgumentLines(content));
+  std::vector<JobRequest> requests;
+  requests.reserve(rows.size());
+  std::uint64_t floor = 0;
+  for (const std::vector<std::string>& row : rows) {
+    DGC_ASSIGN_OR_RETURN(JobRequest request, ParseJobTokens(row));
+    // Arrival cycles never go backwards: a smaller (or absent) @at inherits
+    // the previous job's arrival.
+    floor = std::max(floor, request.at);
+    request.at = floor;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+StatusOr<std::vector<JobRequest>> LoadJobStream(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(ErrorCode::kNotFound, "cannot open job stream: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseJobStream(buffer.str());
+}
+
+}  // namespace dgc::serve

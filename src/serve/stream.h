@@ -1,0 +1,36 @@
+// Job-stream parsing: the textual front end of dgc-serve.
+//
+// A job stream is a sequence of lines, one job per line, reusing the
+// ensemble argument-file lexer (comments with '#', double quotes, escape
+// sequences). Each line is
+//
+//   [@at=<cycle>] [@deadline=<cycles>] [@prio=<n>] <app> [argv...]
+//
+// where the optional leading @-directives set the arrival cycle (absolute,
+// clamped monotonically non-decreasing across the stream; default = the
+// previous job's arrival), the deadline budget (cycles from arrival;
+// 0/absent = none), and the dispatch priority (higher first; default 0).
+// The first token that is not a directive names the registered app; the
+// rest is the instance's argv[1..].
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "serve/job.h"
+#include "support/status.h"
+
+namespace dgc::serve {
+
+/// Parses one tokenized job line (comment filtering already done).
+StatusOr<JobRequest> ParseJobTokens(const std::vector<std::string>& tokens);
+
+/// Parses a whole job-stream document. Arrival cycles are clamped to be
+/// monotonically non-decreasing; a line with no @at inherits the previous
+/// arrival cycle (0 for the first).
+StatusOr<std::vector<JobRequest>> ParseJobStream(std::string_view content);
+
+/// Loads and parses a job-stream file from the host filesystem.
+StatusOr<std::vector<JobRequest>> LoadJobStream(const std::string& path);
+
+}  // namespace dgc::serve

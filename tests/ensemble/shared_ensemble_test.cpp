@@ -10,6 +10,7 @@
 #include "ensemble/loader.h"
 #include "gpusim/ctx.h"
 #include "gpusim/device.h"
+#include "gpusim/faults.h"
 #include "gpusim/memcheck.h"
 #include "ompx/team.h"
 #include "support/str.h"
@@ -38,7 +39,9 @@ std::vector<std::string> ReplicaArgs() {
 StatusOr<dgcf::RunResult> RunReplicas(const DeviceSpec& spec,
                                       std::uint32_t instances, bool share,
                                       sim::Memcheck* memcheck = nullptr,
-                                      bool distinct_seeds = false) {
+                                      bool distinct_seeds = false,
+                                      sim::FaultPlan* faults = nullptr,
+                                      std::uint32_t max_attempts = 1) {
   apps::RegisterAllApps();
   Device device(spec);
   dgcf::RpcHost rpc(device);
@@ -58,6 +61,8 @@ StatusOr<dgcf::RunResult> RunReplicas(const DeviceSpec& spec,
   opt.thread_limit = 32;
   opt.share_data = share;
   opt.memcheck = memcheck;
+  opt.faults = faults;
+  opt.max_attempts = max_attempts;
   return RunEnsemble(env, opt);
 }
 
@@ -198,6 +203,85 @@ TEST(SharedEnsemble, WriteToSharedSegmentIsReportedAsRace) {
   EXPECT_EQ(f.kind, sim::MemcheckErrorKind::kCrossInstance);
   EXPECT_EQ(f.region_owner, sim::kReadOnlyShared);
   EXPECT_EQ(f.region_label, "ro_seg[0]");
+}
+
+// Retry × shared data: a replica killed mid-wave by an injected trap leaks
+// its attach reference, which pins the content-keyed segments past the end
+// of the first wave; the retry wave must re-attach to those live segments
+// rather than materialize duplicate physical copies.
+TEST(SharedEnsemble, RetryWaveReattachesWithoutRematerializing) {
+  auto baseline = RunReplicas(DeviceSpec::TestDevice(), 6, /*share=*/true);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_TRUE(baseline->all_ok());
+  const std::uint64_t segments = baseline->device_mem.shared_materialized;
+  ASSERT_GT(segments, 0u);
+
+  // Block 2 runs instance 2; cycle 50000 is mid-run, well after the
+  // allocation/attach phase of a ~214k-cycle replica. The trap fires once,
+  // so the retry wave recovers the instance.
+  auto plan = *sim::FaultPlan::Parse("trap@b2.w0.c50000");
+  auto run = RunReplicas(DeviceSpec::TestDevice(), 6, /*share=*/true,
+                         /*memcheck=*/nullptr, /*distinct_seeds=*/false,
+                         &plan, /*max_attempts=*/2);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->waves, 2u);
+  EXPECT_TRUE(run->all_ok());
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(run->instances[i].completed) << i;
+    EXPECT_EQ(run->instances[i].exit_code, 0) << i;
+    EXPECT_EQ(run->instances[i].attempts, i == 2 ? 2u : 1u) << i;
+  }
+
+  // The tentpole claim: the retry never re-materialized — every physical
+  // copy in the faulted run already existed in the clean run's count, and
+  // the extra wave shows up purely as additional attaches.
+  EXPECT_EQ(run->device_mem.shared_materialized, segments);
+  EXPECT_GT(run->device_mem.shared_attaches,
+            baseline->device_mem.shared_attaches);
+  EXPECT_GT(run->device_mem.shared_bytes_saved,
+            baseline->device_mem.shared_bytes_saved);
+
+  // Refcount honesty: the trapped first attempt never released its attach,
+  // so exactly the leaked references keep the segments live at the end of
+  // the run; the clean baseline releases everything.
+  EXPECT_EQ(baseline->device_mem.shared_live, 0u);
+  EXPECT_EQ(run->device_mem.shared_live, segments);
+}
+
+// The same dance under the sanitizer: reads from retried instances against
+// wave-1-materialized segments are benign. The trapped first attempt shows
+// up as leaks — and ONLY leaks, attributed to the trapped instance and the
+// segments its attach pinned; re-attaching must produce no out-of-bounds,
+// lifetime, or cross-instance findings.
+TEST(SharedEnsemble, RetryWithSharedDataHasNoRaceOrLifetimeFindings) {
+  sim::Memcheck memcheck;
+  auto plan = *sim::FaultPlan::Parse("trap@b2.w0.c50000");
+  auto run = RunReplicas(DeviceSpec::TestDevice(), 6, /*share=*/true,
+                         &memcheck, /*distinct_seeds=*/false, &plan,
+                         /*max_attempts=*/2);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->waves, 2u);
+  EXPECT_TRUE(run->all_ok());
+  ASSERT_FALSE(run->memcheck.findings.empty());  // the leak is real
+  for (const auto& finding : run->memcheck.findings) {
+    EXPECT_EQ(finding.kind, sim::MemcheckErrorKind::kLeak)
+        << run->memcheck.ToString();
+  }
+}
+
+// Determinism survives the fault + retry path: two identical faulted runs
+// agree on timing, attach counts, and peak footprint.
+TEST(SharedEnsemble, RetryWithSharedDataIsDeterministic) {
+  auto plan_a = *sim::FaultPlan::Parse("trap@b2.w0.c50000");
+  auto a = RunReplicas(DeviceSpec::TestDevice(), 6, /*share=*/true, nullptr,
+                       false, &plan_a, /*max_attempts=*/2);
+  auto plan_b = *sim::FaultPlan::Parse("trap@b2.w0.c50000");
+  auto b = RunReplicas(DeviceSpec::TestDevice(), 6, /*share=*/true, nullptr,
+                       false, &plan_b, /*max_attempts=*/2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->kernel_cycles, b->kernel_cycles);
+  EXPECT_EQ(a->device_mem.shared_attaches, b->device_mem.shared_attaches);
+  EXPECT_EQ(a->device_mem.peak_bytes, b->device_mem.peak_bytes);
 }
 
 }  // namespace

@@ -10,10 +10,13 @@ RESULT_JSON is `micro_benchmarks --benchmark_format=json` output; aggregate
 entries (--benchmark_report_aggregates_only) are preferred — the `_median`
 rows are used when present, otherwise the plain per-repetition rows.
 
-A point regresses when its measured time exceeds the baseline by more than
-the tolerance (the baseline's `tolerance_pct` unless overridden). Exit code
-is 1 if any point regresses, else 0. Faster-than-baseline points are
-reported but never fail — refresh the baseline when they persist.
+A point fails when its measured time is out of tolerance in EITHER
+direction (the baseline's `tolerance_pct` unless overridden): slower is a
+regression, and faster means the committed baseline is stale and must be
+re-pinned — a drifting baseline silently widens the window a real
+regression can hide in. Exit code is 1 if any point is out of tolerance,
+else 0. Pass --allow-faster to accept improvements without failing (e.g.
+on a one-off machine faster than the pinned reference).
 """
 
 import argparse
@@ -56,8 +59,12 @@ def main():
     ap.add_argument("--key", default="release_lto",
                     help="baseline table to gate against (default: %(default)s)")
     ap.add_argument("--tolerance", type=float, default=None,
-                    help="allowed regression in percent "
+                    help="allowed deviation in percent, either direction "
                          "(default: baseline tolerance_pct)")
+    ap.add_argument("--allow-faster", action="store_true",
+                    help="report out-of-tolerance improvements without "
+                         "failing (default: fail so the baseline is "
+                         "re-pinned)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -73,29 +80,40 @@ def main():
     if not results:
         sys.exit(f"error: no '{bench_name}' rows in {args.results}")
 
-    failed = []
+    regressed = []
+    stale = []
     print(f"{bench_name} vs {args.baseline}:{args.key} "
-          f"(tolerance {tol:.0f}%)")
+          f"(tolerance {tol:.0f}%, either direction)")
     for arg in sorted(baseline, key=int):
         base = float(baseline[arg])
         if arg not in results:
             print(f"  /{arg}: MISSING from results")
-            failed.append(arg)
+            regressed.append(arg)
             continue
         got = results[arg]
         delta = (got - base) / base * 100.0
         verdict = "ok"
         if delta > tol:
             verdict = "REGRESSION"
-            failed.append(arg)
+            regressed.append(arg)
         elif delta < -tol:
-            verdict = "faster (refresh baseline?)"
+            if args.allow_faster:
+                verdict = "faster (allowed by --allow-faster)"
+            else:
+                verdict = "STALE BASELINE (faster than pinned)"
+                stale.append(arg)
         print(f"  /{arg}: baseline={base:.2f}ms measured={got:.2f}ms "
               f"({delta:+.1f}%) {verdict}")
 
-    if failed:
-        print(f"FAIL: {len(failed)} point(s) regressed beyond {tol:.0f}%: "
-              f"{', '.join('/' + a for a in failed)}")
+    if regressed:
+        print(f"FAIL: {len(regressed)} point(s) regressed beyond "
+              f"{tol:.0f}%: {', '.join('/' + a for a in regressed)}")
+    if stale:
+        print(f"FAIL: {len(stale)} point(s) faster than baseline beyond "
+              f"{tol:.0f}%: {', '.join('/' + a for a in stale)} — the "
+              f"committed baseline is stale; re-pin {args.baseline} from "
+              f"this run (or pass --allow-faster for a one-off machine)")
+    if regressed or stale:
         return 1
     print("PASS")
     return 0

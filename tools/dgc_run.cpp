@@ -22,6 +22,7 @@
 #include "ensemble/loader.h"
 #include "ensemble/metrics.h"
 #include "gpusim/device.h"
+#include "gpusim/faults.h"
 #include "gpusim/memcheck.h"
 #include "gpusim/profiler.h"
 #include "gpusim/trace.h"
@@ -439,6 +440,22 @@ int main(int argc, char** argv) {
       profile = true;
     } else {
       loader_args.push_back(args[i]);
+    }
+  }
+
+  // Validate any --inject plan up front, before a device is built, files
+  // are read, or sweep points spin up: a typo in the fault grammar must be
+  // a usage error, not a mid-run abort.
+  for (std::size_t i = 0; i + 1 < loader_args.size(); ++i) {
+    if (loader_args[i] != "--inject") continue;
+    if (auto plan = sim::FaultPlan::Parse(loader_args[i + 1]); !plan.ok()) {
+      std::fprintf(stderr,
+                   "dgc-run: bad --inject spec: %s\n"
+                   "usage: --inject "
+                   "'seed@7;malloc-fail@3;trap@b0.w1.c5000' (see docs/"
+                   "MODEL.md, Failure semantics)\n",
+                   plan.status().ToString().c_str());
+      return 2;
     }
   }
 

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# SIGTERM drain contract: a dgc-serve following stdin must, on SIGTERM,
+# finish in-flight work, write the final report, and exit with a code that
+# reflects job outcomes (0 here: the only admitted job succeeds).
+set -u
+BIN=$1
+OUT=$2
+mkdir -p "$OUT"
+fifo="$OUT/stream.fifo"
+rm -f "$fifo"
+mkfifo "$fifo"
+
+"$BIN" --stream - --device test -t 32 --log "$OUT/drain.log" \
+  <"$fifo" >"$OUT/drain.out" 2>&1 &
+pid=$!
+exec 3>"$fifo"
+printf 'rsbench -u 6 -w 4 -l 64 -s 1\n' >&3
+sleep 1
+kill -TERM "$pid"
+exec 3>&-
+wait "$pid"
+rc=$?
+rm -f "$fifo"
+
+if ! grep -q 'done job=0 outcome=succeeded' "$OUT/drain.log"; then
+  echo "serve-drain: in-flight job did not run to completion"
+  cat "$OUT/drain.log"
+  exit 1
+fi
+if ! grep -q 'drained=1' "$OUT/drain.log"; then
+  echo "serve-drain: final report does not record the drain"
+  cat "$OUT/drain.log"
+  exit 1
+fi
+if [ "$rc" != 0 ]; then
+  echo "serve-drain: expected exit 0 after a clean drain, got $rc"
+  exit 1
+fi
+echo "serve-drain: ok"
