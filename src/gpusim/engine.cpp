@@ -1,34 +1,52 @@
 #include "gpusim/engine.h"
 
+#include <algorithm>
+
 #include "gpusim/warp.h"
 
 namespace dgc::sim {
 
 void Engine::Schedule(std::uint64_t t, Warp* warp) {
   if (t < now_) t = now_;
-  // Duplicate wake-up suppression: if the warp already has an undispatched
-  // wake queued for exactly `t`, this call is semantically a no-op — Turn
-  // is time-driven, so the pending dispatch covers everything this one
-  // would do, and it runs no later than the duplicate would have. The mark
-  // tracks one pending wake per warp and is cleared when that wake
-  // dispatches (or overwritten by a different-time enqueue), so the
-  // suppression is conservative: it can miss duplicates, never drop a
-  // needed turn. Anything that makes a lane runnable after the pending
-  // dispatch re-schedules the warp itself (barrier releases call WakeAt).
-  if (warp->queued_wake() == t) return;
+  // Earliest-wake suppression: if the warp already has an undispatched wake
+  // queued at or before `t`, this call is a no-op. Turn is time-driven and
+  // always re-derives the warp's next wake from lane state before
+  // returning (including on turns that had nothing to resume or issue), so
+  // the earlier dispatch regenerates any later wake that is still needed.
+  // This is what makes multi-source wakes single-shot: a warp woken in the
+  // same window by, say, a memsys completion and a barrier release turns
+  // exactly once — the old exact-match rule let a later wake slip past an
+  // earlier queued one and dispatch a redundant turn.
+  // queued_wake_ is therefore the minimum undispatched queued time (marks
+  // only decrease between dispatches) and is cleared when that earliest
+  // wake dispatches.
+  if (warp->queued_wake() <= t) return;
   warp->set_queued_wake(t);
-  queue_.push(Event{t, seq_++, warp});
+  heap_.push_back(Event{t, seq_++, warp});
+  std::push_heap(heap_.begin(), heap_.end(), Later);
 }
 
 bool Engine::RunOne() {
-  if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later);
+  const Event ev = heap_.back();
+  heap_.pop_back();
   now_ = ev.t;
   ++dispatched_;
+  dispatching_seq_ = ev.seq;
   if (ev.warp->queued_wake() == ev.t) ev.warp->clear_queued_wake();
   ev.warp->Turn(ev.t);
   return true;
+}
+
+void Engine::CollectPending(std::uint64_t bound,
+                            std::vector<Event>& out) const {
+  for (const Event& ev : heap_) {
+    if (ev.t < bound) out.push_back(ev);
+  }
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  });
 }
 
 }  // namespace dgc::sim

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 namespace dgc::sim {
@@ -16,6 +15,14 @@ class Warp;
 
 class Engine {
  public:
+  /// One queued warp wake-up. Public so the threaded launch loop can
+  /// snapshot a cycle window of upcoming events (CollectPending).
+  struct Event {
+    std::uint64_t t;
+    std::uint64_t seq;
+    Warp* warp;
+  };
+
   /// Schedules a warp turn no earlier than the current time.
   void Schedule(std::uint64_t t, Warp* warp);
 
@@ -28,27 +35,34 @@ class Engine {
   /// Timestamp of the next event without dispatching it. Lets the run loop
   /// act between events (timeline sampling) without perturbing them.
   std::uint64_t next_event_time() const {
-    return queue_.empty() ? kNoEvent : queue_.top().t;
+    return heap_.empty() ? kNoEvent : heap_.front().t;
   }
 
+  /// Appends a copy of every queued event with t < `bound` to `out`, in
+  /// dispatch order (t, then insertion seq). The queue itself is untouched:
+  /// the copies are a read-only preview for speculative execution, and the
+  /// originals still dispatch through RunOne in exactly this order.
+  void CollectPending(std::uint64_t bound, std::vector<Event>& out) const;
+
   std::uint64_t now() const { return now_; }
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t events_dispatched() const { return dispatched_; }
+  /// Insertion seq of the event currently being dispatched by RunOne.
+  /// Valid only inside Warp::Turn; used to match speculation to its event.
+  std::uint64_t dispatching_seq() const { return dispatching_seq_; }
 
  private:
-  struct Event {
-    std::uint64_t t;
-    std::uint64_t seq;
-    Warp* warp;
-    bool operator>(const Event& o) const {
-      return t != o.t ? t > o.t : seq > o.seq;
-    }
-  };
+  /// Heap comparator: a "later-than" predicate, so the front of the
+  /// std::push_heap/pop_heap max-heap is the *earliest* event.
+  static bool Later(const Event& a, const Event& b) {
+    return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+  }
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<Event> heap_;
   std::uint64_t now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t dispatching_seq_ = 0;
 };
 
 }  // namespace dgc::sim

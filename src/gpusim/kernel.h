@@ -51,6 +51,21 @@ struct LaunchConfig {
   /// utilization timeline is sampled. Non-owning; one profiler may observe
   /// several sequential launches (retry waves).
   Profiler* profiler = nullptr;
+  /// Host threads simulating this one launch. 1 (default) is the fully
+  /// serial engine; N > 1 shards SMs across N threads that speculatively
+  /// run the resume half of upcoming turns inside a bounded cycle window,
+  /// while a single commit thread replays every event in exact serial
+  /// order — stats, metrics JSON, and traces are byte-identical for every
+  /// value. Clamped to the SM count; falls back to 1 thread when a fault
+  /// plan is installed or blocks have more than one warp (see
+  /// launch_context.cpp).
+  unsigned launch_threads = 1;
+  /// Cycle-window length for the threaded engine (how far ahead of the
+  /// commit frontier speculation may run). 0 picks the default (2048).
+  /// Ignored when the launch executes serially. Any value yields identical
+  /// output; this only trades merge-barrier frequency against speculation
+  /// depth.
+  std::uint64_t launch_window_cycles = 0;
 };
 
 }  // namespace dgc::sim

@@ -40,8 +40,12 @@ void Profiler::OnLaunchEnd(std::uint64_t now, std::uint32_t active_warps,
                            std::uint32_t resident_blocks,
                            const std::vector<LaunchStats>& buckets) {
   // Final partial window, only if anything happened past the last sample.
+  // This is the wave's closing sample: it must land in the timeline even
+  // at capacity (final_flush), or the last < sample_interval cycles of the
+  // launch silently vanish from the stall/utilization timeline.
   if (now > window_start_) {
-    EmitSample(now, active_warps, resident_blocks, buckets);
+    EmitSample(now, active_warps, resident_blocks, buckets,
+               /*final_flush=*/true);
   }
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     // Bucket 0 is the unattributed (-1) slot; i maps to instance i - 1.
@@ -68,11 +72,12 @@ InstanceStats& Profiler::Slot(std::int32_t instance) {
 
 void Profiler::EmitSample(std::uint64_t cycle, std::uint32_t active_warps,
                           std::uint32_t resident_blocks,
-                          const std::vector<LaunchStats>& buckets) {
+                          const std::vector<LaunchStats>& buckets,
+                          bool final_flush) {
   const std::uint64_t window = cycle - window_start_;
   const LaunchStats total = SumBuckets(buckets);
   if (window != 0) {
-    if (timeline_.size() < options_.timeline_capacity) {
+    if (final_flush || timeline_.size() < options_.timeline_capacity) {
       TimelineSample s;
       s.cycle = cycle;
       s.wave = waves_ - 1;

@@ -60,7 +60,11 @@ class Profiler {
     /// samples; the engine does no extra work between boundaries either way.
     std::uint64_t sample_interval = 8192;
     /// Timeline ring limit; samples past it are counted, not stored
-    /// (mirrors Trace's capacity/dropped contract).
+    /// (mirrors Trace's capacity/dropped contract). Exception: the closing
+    /// sample of each wave — the final partial interval at launch end — is
+    /// always stored, even at capacity. Dropping it would silently truncate
+    /// the stall/utilization timeline short of the launch's last cycles,
+    /// exactly the tail a saturation analysis needs.
     std::size_t timeline_capacity = 1u << 16;
   };
 
@@ -110,9 +114,12 @@ class Profiler {
   std::uint32_t waves() const { return waves_; }
 
  private:
+  /// `final_flush` marks the wave-closing sample, which bypasses the
+  /// capacity limit (see Options::timeline_capacity).
   void EmitSample(std::uint64_t cycle, std::uint32_t active_warps,
                   std::uint32_t resident_blocks,
-                  const std::vector<LaunchStats>& buckets);
+                  const std::vector<LaunchStats>& buckets,
+                  bool final_flush = false);
   /// Bucket slot for `instance` (>= -1), created on first use.
   InstanceStats& Slot(std::int32_t instance);
 

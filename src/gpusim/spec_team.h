@@ -1,0 +1,171 @@
+// SpecTeam: a spinning worker team for the threaded launch engine's
+// speculation rounds.
+//
+// A round's parallel phase is tiny — a handful of warp resumes per shard,
+// a few microseconds of work — and there are tens of thousands of rounds
+// per launch, so the fan-out/join cost *is* the performance story. A
+// general thread pool (support/thread_pool.h) pays a packaged_task, a
+// future, and two mutex/condvar handshakes per job: ~19us per round,
+// which is larger than the work it distributes. This team instead keeps
+// its workers parked on a generation counter (spin briefly, then a
+// condvar) and runs one fixed job over parts 0..parts-1:
+//
+//   SpecTeam team(threads - 1, shard_count, [&](unsigned s) { ... });
+//   team.Run();   // caller participates; returns when every part ran
+//
+// Run() is a full barrier: all shard effects are visible to the caller
+// afterwards, and the caller's writes before Run() (the shard partition)
+// are visible to every worker. A part that throws records the first
+// exception, which Run() rethrows after the barrier.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dgc::sim {
+
+class SpecTeam {
+ public:
+  /// Spawns up to `workers` threads that serve `parts` parts of `job` per
+  /// Run(). The job and part count are fixed for the team's lifetime, so
+  /// rounds touch only three atomics — no per-round allocation or
+  /// packaging. The team never outgrows the hardware: on a machine with
+  /// fewer cores than requested threads, extra workers would time-slice
+  /// against the commit thread (pure overhead — speculation is only a win
+  /// when it genuinely overlaps), so they are not spawned and Run() serves
+  /// their parts on the calling thread. Results are byte-identical either
+  /// way; only the overlap changes. Tests pass clamp_to_hardware = false
+  /// to force real workers (and the barrier's memory-ordering paths) even
+  /// on a single-core host.
+  SpecTeam(unsigned workers, unsigned parts, std::function<void(unsigned)> job,
+           bool clamp_to_hardware = true)
+      : job_(std::move(job)), parts_(parts) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (clamp_to_hardware && hw > 0) workers = std::min(workers, hw - 1);
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Worker threads actually spawned (0 = every part runs on the caller).
+  unsigned workers() const { return unsigned(threads_.size()); }
+
+  SpecTeam(const SpecTeam&) = delete;
+  SpecTeam& operator=(const SpecTeam&) = delete;
+
+  ~SpecTeam() {
+    stop_.store(true, std::memory_order_release);
+    BumpGeneration();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Runs job(0..parts-1) across the workers and the calling thread;
+  /// returns once every part has finished (acquire barrier).
+  void Run() {
+    // done_ resets strictly before next_: a straggler worker can only
+    // enter this round by claiming the 0 stored into next_, and the
+    // release/acquire pair on next_ then orders the done_ reset before
+    // the straggler's increment. The reverse order would let a fast
+    // straggler bump done_ between the two resets — a lost count, and a
+    // barrier that never opens.
+    done_.store(0, std::memory_order_relaxed);
+    next_.store(0, std::memory_order_release);
+    BumpGeneration();
+    Work();
+    // The caller's remaining wait is bounded by one in-flight part per
+    // worker — microseconds — so spin rather than sleep.
+    while (done_.load(std::memory_order_acquire) != parts_) {
+    }
+    if (error_ != nullptr) {
+      std::exception_ptr err = error_;
+      error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+
+ private:
+  void Work() {
+    for (;;) {
+      // acq_rel: claiming the 0 stored by Run() also acquires the
+      // caller's pre-Run writes (the shard partition) — this matters for
+      // a straggler worker that slips into the next round before reading
+      // the bumped generation.
+      const unsigned part = next_.fetch_add(1, std::memory_order_acq_rel);
+      if (part >= parts_) return;
+      try {
+        job_(part);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex_);
+        if (error_ == nullptr) error_ = std::current_exception();
+      }
+      done_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  /// Publishes a new generation and wakes any parked workers. The empty
+  /// critical section is load-bearing: a worker only parks after
+  /// re-checking its predicate under wake_mutex_, so acquiring the mutex
+  /// between the bump and the notify guarantees the worker either saw the
+  /// new state or is already in the wait queue.
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_release);
+    { const std::lock_guard<std::mutex> lock(wake_mutex_); }
+    wake_cv_.notify_all();
+  }
+
+  void WorkerLoop() {
+    // The gap between rounds is one commit phase — tens of microseconds —
+    // so the spin budget should cover it: a parked worker costs a condvar
+    // wake per round, which can exceed what the round distributes. A few
+    // hundred microseconds of relaxed loads on an L1-resident line rides
+    // out a commit phase; a genuinely idle team (launch finished, long
+    // serial stretch) falls through to the condvar.
+    //
+    // stop_ is part of the spin and of the wait predicate, not only
+    // checked after a generation change: on an oversubscribed host a
+    // worker may first be scheduled after the destructor already bumped
+    // the generation, so its initial `seen` swallows the shutdown round
+    // and no further bump will ever arrive.
+    constexpr int kSpinIterations = 1 << 18;
+    std::uint64_t seen = generation_.load(std::memory_order_acquire);
+    for (;;) {
+      std::uint64_t gen;
+      int spins = 0;
+      while ((gen = generation_.load(std::memory_order_acquire)) == seen) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        if (++spins >= kSpinIterations) {
+          std::unique_lock<std::mutex> lock(wake_mutex_);
+          wake_cv_.wait(lock, [&] {
+            return stop_.load(std::memory_order_acquire) ||
+                   (gen = generation_.load(std::memory_order_acquire)) != seen;
+          });
+          break;
+        }
+      }
+      if (stop_.load(std::memory_order_acquire)) return;
+      seen = gen;
+      Work();
+    }
+  }
+
+  const std::function<void(unsigned)> job_;
+  const unsigned parts_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<unsigned> next_{0};
+  std::atomic<unsigned> done_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex wake_mutex_;          ///< guards parking only, never the hot path
+  std::condition_variable wake_cv_;
+  std::mutex error_mutex_;
+  std::exception_ptr error_;  ///< first part failure, rethrown by Run()
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dgc::sim

@@ -75,13 +75,30 @@ void Warp::Turn(std::uint64_t now) {
       }
     }
   }
-  const bool resumed_any = ResumePhase(now);
+  bool resumed_any;
+  if (spec_valid_) {
+    // Adopt the speculative resume. It was taken against this warp's
+    // earliest queued event, and nothing can enqueue an earlier one for a
+    // single-warp block, so the first dispatch after speculation is always
+    // the speculated event itself.
+    DGC_CHECK(spec_t_ == now &&
+              spec_seq_ == lc_->engine.dispatching_seq());
+    spec_valid_ = false;
+    --lc_->specs_pending;
+    resumed_any = CommitSpeculation(now);
+  } else {
+    resumed_any = ResumePhase(now);
+  }
   bool processed_any = false;
   ProcessPhase(now, processed_any);
-  if (!resumed_any && !processed_any) return;  // spurious wake-up
+  (void)resumed_any;
+  (void)processed_any;
 
   // Schedule the next turn at the earliest time a lane becomes runnable.
   // Lanes blocked on barriers are woken by the barrier release instead.
+  // This scan runs on every turn, including spurious wake-ups: with the
+  // engine's earliest-wake suppression (engine.cpp), a suppressed later
+  // wake is re-derived here, so skipping the scan could strand a lane.
   std::uint64_t t_next = ~std::uint64_t(0);
   for (Lane& lane : lanes_) {
     if (lane.state != Lane::State::kReady || lane.root_finished()) continue;
@@ -92,45 +109,263 @@ void Warp::Turn(std::uint64_t now) {
 }
 
 bool Warp::ResumePhase(std::uint64_t now) {
-  const std::uint64_t budget = lc_->config.watchdog_cycles;
   bool resumed_any = false;
-  for (Lane& lane : lanes_) {
-    if (lane.state != Lane::State::kReady || lane.root_finished()) continue;
-    if (lane.pending.kind != DeviceOp::Kind::kNone) continue;
-    if (lane.ready_at > now) continue;
-    // Watchdog enforcement happens at the resume point: a lane past the
-    // launch budget (or its own per-instance deadline) is armed to trap,
-    // and the resume below raises it inside the coroutine.
-    if (lane.pending_trap == TrapKind::kNone &&
-        ((budget != 0 && now >= budget) ||
-         (lane.watchdog_deadline != 0 && now >= lane.watchdog_deadline))) {
-      lane.pending_trap = TrapKind::kWatchdog;
-      lane.trap_cycle = now;
-    }
+  for (Lane& lane : lanes_) TryResumeLane(lane, now, resumed_any);
+  return resumed_any;
+}
+
+void Warp::TryResumeLane(Lane& lane, std::uint64_t now, bool& resumed_any) {
+  if (lane.state != Lane::State::kReady || lane.root_finished()) return;
+  if (lane.pending.kind != DeviceOp::Kind::kNone) return;
+  if (lane.ready_at > now) return;
+  // Watchdog enforcement happens at the resume point: a lane past the
+  // launch budget (or its own per-instance deadline) is armed to trap,
+  // and the resume below raises it inside the coroutine.
+  const std::uint64_t budget = lc_->config.watchdog_cycles;
+  if (lane.pending_trap == TrapKind::kNone &&
+      ((budget != 0 && now >= budget) ||
+       (lane.watchdog_deadline != 0 && now >= lane.watchdog_deadline))) {
+    lane.pending_trap = TrapKind::kWatchdog;
+    lane.trap_cycle = now;
+  }
+  ResumeLaneInline(lane, now, resumed_any);
+}
+
+void Warp::ResumeLaneInline(Lane& lane, std::uint64_t now, bool& resumed_any) {
+  for (;;) {
+    lane.resume_now = now;
     lane.Resume();
     resumed_any = true;
-    if (!lane.root_finished()) continue;
-
-    if (std::exception_ptr err = lane.root_error()) {
-      lane.state = Lane::State::kFailed;
-      std::string what = "unknown device exception";
-      TrapKind kind = TrapKind::kNone;
-      try {
-        std::rethrow_exception(err);
-      } catch (const DeviceTrap& trap) {
-        what = trap.what();
-        kind = trap.kind();
-      } catch (const std::exception& e) {
-        what = e.what();
-      } catch (...) {
-      }
-      lc_->RecordFailure(block_->id(), lane.thread_id, kind, what);
-    } else {
-      lane.state = Lane::State::kDone;
+    if (lane.root_finished()) {
+      FinishLane(lane, now);
+      return;
     }
-    block_->OnLaneDone(&lane, now);
+    if (lane.pending.kind != DeviceOp::Kind::kHostFence) return;
+    // HostFence executed inline is invisible: the fenced continuation runs
+    // right here, at the same side-effect slot as code without the fence.
+    lane.pending = DeviceOp{};
+  }
+}
+
+void Warp::FinishLane(Lane& lane, std::uint64_t now) {
+  if (std::exception_ptr err = lane.root_error()) {
+    lane.state = Lane::State::kFailed;
+    std::string what = "unknown device exception";
+    TrapKind kind = TrapKind::kNone;
+    try {
+      std::rethrow_exception(err);
+    } catch (const DeviceTrap& trap) {
+      what = trap.what();
+      kind = trap.kind();
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    lc_->RecordFailure(block_->id(), lane.thread_id, kind, what);
+  } else {
+    lane.state = Lane::State::kDone;
+  }
+  block_->OnLaneDone(&lane, now);
+}
+
+bool Warp::CanSpeculate() const {
+  // Single-warp blocks only: with sibling warps, an inline commit earlier
+  // in the window (a barrier release, a row-watchdog re-arm, team-state
+  // writes) could mutate this warp's lanes after they were speculated.
+  // With one warp per block every such agent is the warp itself, and the
+  // warp's own first event commits before any of its later activity.
+  // Faults are excluded wholesale: MatchTrap consumes plan state at turn
+  // start, which must happen in commit order (the threaded run loop falls
+  // back to the serial engine when a plan is installed).
+  return block_->warp_count() == 1 && lc_->config.faults == nullptr;
+}
+
+void Warp::SpeculativeResume(std::uint64_t t, std::uint64_t seq) {
+  spec_outcome_.assign(lanes_.size(), SpecOutcome::kUntouched);
+  spec_resumed_any_ = false;
+  bool at_fence = false;
+  const std::uint64_t budget = lc_->config.watchdog_cycles;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& lane = lanes_[i];
+    if (lane.state != Lane::State::kReady || lane.root_finished()) continue;
+    if (lane.pending.kind != DeviceOp::Kind::kNone) continue;
+    if (lane.ready_at > t) continue;
+    if (lane.pending_trap == TrapKind::kNone &&
+        ((budget != 0 && t >= budget) ||
+         (lane.watchdog_deadline != 0 && t >= lane.watchdog_deadline))) {
+      lane.pending_trap = TrapKind::kWatchdog;
+      lane.trap_cycle = t;
+    }
+    lane.resume_now = t;
+    lane.Resume();
+    spec_resumed_any_ = true;
+    if (lane.root_finished()) {
+      // Classification, failure recording, and OnLaneDone mutate launch
+      // state (barrier membership, SM occupancy, the block scheduler) —
+      // all deferred to the commit turn.
+      spec_outcome_[i] = SpecOutcome::kFinished;
+      continue;
+    }
+    if (lane.pending.kind == DeviceOp::Kind::kHostFence) {
+      // The continuation mutates launch-global host state; park this lane
+      // and stop the pass — the commit turn resumes from here inline, so
+      // the fenced effect lands at its exact serial-order slot, and the
+      // remaining lanes follow it in lane order as the serial engine would.
+      spec_outcome_[i] = SpecOutcome::kAtFence;
+      at_fence = true;
+      break;
+    }
+    spec_outcome_[i] = SpecOutcome::kResumed;
+  }
+  spec_valid_ = true;
+  spec_t_ = t;
+  spec_seq_ = seq;
+  // With no fence stop the turn's pending ops are final, so the expensive
+  // half of the issue path — sector coalescing — can run here, off the
+  // commit thread. A fence's commit-side continuation can add pending ops
+  // and change the partition, so those turns coalesce inline at commit.
+  if (at_fence) {
+    spec_sectors_valid_ = false;
+  } else {
+    PrecomputeIssueSectors();
+  }
+}
+
+bool Warp::CommitSpeculation(std::uint64_t now) {
+  bool resumed_any = spec_resumed_any_;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& lane = lanes_[i];
+    switch (spec_outcome_[i]) {
+      case SpecOutcome::kResumed:
+        break;  // already at its next suspension; ProcessPhase issues it
+      case SpecOutcome::kFinished:
+        FinishLane(lane, now);
+        break;
+      case SpecOutcome::kAtFence:
+        lane.pending = DeviceOp{};
+        ResumeLaneInline(lane, now, resumed_any);
+        break;
+      case SpecOutcome::kUntouched:
+        // Skipped by the speculative pass — either ineligible (those
+        // conditions are warp-local and unchanged since) or past a fence
+        // stop; the normal inline step handles both.
+        TryResumeLane(lane, now, resumed_any);
+        break;
+    }
   }
   return resumed_any;
+}
+
+DeviceOp::Kind Warp::SelectIssueGroup(std::size_t& remaining) {
+  // The first un-issued lane (in lane order) defines the group: all
+  // remaining lanes whose pending op matches its kind (and barrier /
+  // address space) issue together.
+  const DeviceOp::Kind kind = pending_lanes_.front()->pending.kind;
+  Barrier* const barrier = pending_lanes_.front()->pending.barrier;
+  const bool shared_space = IsSharedAddr(pending_lanes_.front()->pending.addr);
+  const bool is_mem = kind == DeviceOp::Kind::kLoad ||
+                      kind == DeviceOp::Kind::kStore ||
+                      kind == DeviceOp::Kind::kAtomic ||
+                      kind == DeviceOp::Kind::kLoadBatch ||
+                      kind == DeviceOp::Kind::kStoreBatch;
+  group_.clear();
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < remaining; ++i) {
+    Lane* lane = pending_lanes_[i];
+    const bool match =
+        lane->pending.kind == kind &&
+        (kind != DeviceOp::Kind::kSync || lane->pending.barrier == barrier) &&
+        (!is_mem || IsSharedAddr(lane->pending.addr) == shared_space);
+    if (match) {
+      group_.push_back(lane);
+    } else {
+      pending_lanes_[keep++] = lane;
+    }
+  }
+  remaining = keep;
+  return kind;
+}
+
+void Warp::PrecomputeIssueSectors() {
+  // Runs on the warp's shard thread, after the speculative resume set the
+  // turn's pending ops. The partition below replays exactly what the
+  // commit turn's ProcessPhase will select (same candidates, same
+  // SelectIssueGroup), so entries can be consumed positionally. Only
+  // sector derivation happens here: it depends on nothing but the ops'
+  // addresses, while functional effects, stats, and memsys charges stay
+  // with the commit thread.
+  spec_sectors_count_ = 0;
+  spec_sectors_next_ = 0;
+  spec_sectors_valid_ = true;
+  pending_lanes_.clear();
+  for (Lane& lane : lanes_) {
+    if (lane.state != Lane::State::kReady) continue;
+    if (lane.pending.kind == DeviceOp::Kind::kNone) continue;
+    pending_lanes_.push_back(&lane);
+  }
+  std::size_t remaining = pending_lanes_.size();
+  while (remaining != 0) {
+    const DeviceOp::Kind kind = SelectIssueGroup(remaining);
+    switch (kind) {
+      case DeviceOp::Kind::kLoad:
+      case DeviceOp::Kind::kStore:
+      case DeviceOp::Kind::kAtomic: {
+        if (IsSharedAddr(group_.front()->pending.addr)) break;
+        accesses_.clear();
+        std::uint64_t total_bytes = 0;
+        for (Lane* lane : group_) {
+          const DeviceOp& op = lane->pending;
+          accesses_.push_back({op.addr, op.bytes});
+          total_bytes += op.bytes;
+        }
+        EmitSpecSectors(kind, total_bytes);
+        break;
+      }
+      case DeviceOp::Kind::kLoadBatch:
+      case DeviceOp::Kind::kStoreBatch: {
+        accesses_.clear();
+        std::uint64_t total_bytes = 0;
+        for (Lane* lane : group_) {
+          const DeviceOp& op = lane->pending;
+          for (std::uint32_t i = 0; i < op.batch_count; ++i) {
+            accesses_.push_back({op.batch[i].addr, op.batch[i].bytes});
+            total_bytes += op.batch[i].bytes;
+          }
+        }
+        EmitSpecSectors(kind, total_bytes);
+        break;
+      }
+      default:
+        break;  // no coalescing for work/sync/external groups
+    }
+  }
+}
+
+void Warp::EmitSpecSectors(DeviceOp::Kind kind, std::uint64_t total_bytes) {
+  if (spec_sectors_.size() <= spec_sectors_count_) {
+    spec_sectors_.emplace_back();
+  }
+  SpecSectors& entry = spec_sectors_[spec_sectors_count_++];
+  entry.kind = kind;
+  entry.group_size = std::uint32_t(group_.size());
+  entry.total_bytes = total_bytes;
+  CoalesceSectors(accesses_, lc_->spec.sector_bytes, entry.sectors);
+}
+
+Warp::SpecSectors* Warp::ConsumeSpecSectors(DeviceOp::Kind kind,
+                                            std::uint64_t total_bytes) {
+  if (!spec_sectors_valid_ || spec_sectors_next_ >= spec_sectors_count_) {
+    return nullptr;
+  }
+  SpecSectors& entry = spec_sectors_[spec_sectors_next_];
+  // The tag must match: precompute and commit walked the same partition
+  // over the same pending ops, so any divergence is a speculation bug, not
+  // a recoverable condition.
+  DGC_CHECK(entry.kind == kind &&
+            entry.group_size == std::uint32_t(group_.size()) &&
+            entry.total_bytes == total_bytes);
+  ++spec_sectors_next_;
+  return &entry;
 }
 
 std::uint64_t Warp::ProcessPhase(std::uint64_t now, bool& processed_any) {
@@ -157,32 +392,7 @@ std::uint64_t Warp::ProcessPhase(std::uint64_t now, bool& processed_any) {
   }
   std::size_t remaining = pending_lanes_.size();
   while (remaining != 0) {
-    // The first un-issued lane (in lane order) defines the group: all
-    // remaining lanes whose pending op matches its kind (and barrier /
-    // address space) issue together.
-    const DeviceOp::Kind kind = pending_lanes_.front()->pending.kind;
-    Barrier* const barrier = pending_lanes_.front()->pending.barrier;
-    const bool shared_space = IsSharedAddr(pending_lanes_.front()->pending.addr);
-    const bool is_mem = kind == DeviceOp::Kind::kLoad ||
-                        kind == DeviceOp::Kind::kStore ||
-                        kind == DeviceOp::Kind::kAtomic ||
-                        kind == DeviceOp::Kind::kLoadBatch ||
-                        kind == DeviceOp::Kind::kStoreBatch;
-    group_.clear();
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < remaining; ++i) {
-      Lane* lane = pending_lanes_[i];
-      const bool match =
-          lane->pending.kind == kind &&
-          (kind != DeviceOp::Kind::kSync || lane->pending.barrier == barrier) &&
-          (!is_mem || IsSharedAddr(lane->pending.addr) == shared_space);
-      if (match) {
-        group_.push_back(lane);
-      } else {
-        pending_lanes_[keep++] = lane;
-      }
-    }
-    remaining = keep;
+    const DeviceOp::Kind kind = SelectIssueGroup(remaining);
     ++groups;
     processed_any = true;
     // One stats sink per issue group: lanes of a group share an op and —
@@ -226,6 +436,7 @@ std::uint64_t Warp::ProcessPhase(std::uint64_t now, bool& processed_any) {
         issue += kIssueCycles;
         continue;  // lanes are blocked; no completion time to propagate
       case DeviceOp::Kind::kNone:
+      case DeviceOp::Kind::kHostFence:  // consumed by the resume loop
         DGC_CHECK(false);
     }
 
@@ -262,6 +473,10 @@ std::uint64_t Warp::ProcessPhase(std::uint64_t now, bool& processed_any) {
     if (lane->state == Lane::State::kReady) lane->ready_at = t;
   }
   processed_.clear();
+  // Precomputed sectors are good for exactly one turn: the ops they were
+  // derived from are consumed above, so a stale cache must never survive
+  // into a later turn's groups.
+  spec_sectors_valid_ = false;
   return t;
 }
 
@@ -296,7 +511,12 @@ std::uint64_t Warp::IssueMemoryGroup(std::span<Lane*> group, bool is_store,
 
   if (shared_space) return lc_->memsys.AccessShared(shared_addrs_, t, stats);
 
-  CoalesceSectors(accesses_, lc_->spec.sector_bytes, sectors_);
+  if (SpecSectors* cached =
+          ConsumeSpecSectors(group.front()->pending.kind, total_bytes)) {
+    sectors_.swap(cached->sectors);
+  } else {
+    CoalesceSectors(accesses_, lc_->spec.sector_bytes, sectors_);
+  }
   stats.global_sectors += sectors_.size();
   stats.ideal_sectors +=
       IdealSectorCountForBytes(total_bytes, lc_->spec.sector_bytes);
@@ -331,7 +551,12 @@ std::uint64_t Warp::IssueBatchGroup(std::span<Lane*> group, std::uint64_t t,
       total_bytes += slot.bytes;
     }
   }
-  CoalesceSectors(accesses_, lc_->spec.sector_bytes, sectors_);
+  if (SpecSectors* cached =
+          ConsumeSpecSectors(group.front()->pending.kind, total_bytes)) {
+    sectors_.swap(cached->sectors);
+  } else {
+    CoalesceSectors(accesses_, lc_->spec.sector_bytes, sectors_);
+  }
   stats.global_sectors += sectors_.size();
   stats.ideal_sectors +=
       IdealSectorCountForBytes(total_bytes, lc_->spec.sector_bytes);
@@ -365,7 +590,12 @@ std::uint64_t Warp::IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t,
   if (shared_space) {
     t_end = lc_->memsys.AccessShared(shared_addrs_, t, stats);
   } else {
-    CoalesceSectors(accesses_, lc_->spec.sector_bytes, sectors_);
+    if (SpecSectors* cached =
+            ConsumeSpecSectors(DeviceOp::Kind::kAtomic, total_bytes)) {
+      sectors_.swap(cached->sectors);
+    } else {
+      CoalesceSectors(accesses_, lc_->spec.sector_bytes, sectors_);
+    }
     stats.global_sectors += sectors_.size();
     stats.ideal_sectors +=
         IdealSectorCountForBytes(total_bytes, lc_->spec.sector_bytes);

@@ -37,6 +37,32 @@ class Warp {
   /// One scheduler turn at time `now`; called by the engine.
   void Turn(std::uint64_t now);
 
+  // --- Speculative resume (threaded launches) -------------------------------
+  //
+  // The threaded engine snapshots a cycle window of queued events and lets
+  // shard workers run the *resume* half of eligible turns ahead of time;
+  // the commit thread then replays the window's events in exact serial
+  // order, adopting each speculation instead of resuming again. A warp is
+  // eligible only when its block has a single warp: then every agent that
+  // can mutate the warp between the snapshot and its first dispatch — the
+  // block barrier and row barriers, shared memory, the team state machine,
+  // row watchdogs — is the warp itself, so the state a speculative resume
+  // reads is exactly the state the serial engine would have read.
+
+  /// True when this warp's next dispatched event may be resumed off-thread.
+  bool CanSpeculate() const;
+
+  /// Runs the resume phase for the queued event (`t`, `seq`) — which must
+  /// be this warp's earliest undispatched event — recording per-lane
+  /// outcomes instead of applying launch-global effects: lane termination
+  /// bookkeeping is deferred to the commit turn, and a lane reaching a
+  /// HostFence parks there (the remaining lanes stay untouched).
+  void SpeculativeResume(std::uint64_t t, std::uint64_t seq);
+
+  /// Window stamp used by the shard walker to speculate only the warp's
+  /// earliest event per window. Owned by the warp's shard thread.
+  std::uint64_t spec_window_stamp = 0;
+
   std::uint32_t id() const { return warp_id_; }
   Block* block() const { return block_; }
 
@@ -48,8 +74,51 @@ class Warp {
   void clear_queued_wake() { queued_wake_ = kNoQueuedWake; }
 
  private:
+  /// What the speculative pass did with each lane (parallel to lanes_).
+  enum class SpecOutcome : std::uint8_t {
+    kUntouched,  ///< not reached (ineligible, or after a fence stop)
+    kResumed,    ///< resumed to its next suspension; pending op is set
+    kFinished,   ///< root coroutine completed; bookkeeping deferred
+    kAtFence,    ///< parked at a HostFence; commit finishes the resume
+  };
+
+  /// One precomputed coalescing result: the sector list (and its stats
+  /// inputs) of one global-memory issue group, derived on the shard thread
+  /// so the commit turn's ProcessPhase can skip CoalesceSectors — the
+  /// single hottest function of the serial engine. The tag fields let the
+  /// consumer verify it is adopting the group it thinks it is.
+  struct SpecSectors {
+    DeviceOp::Kind kind = DeviceOp::Kind::kNone;
+    std::uint32_t group_size = 0;
+    std::uint64_t total_bytes = 0;
+    std::vector<std::uint64_t> sectors;
+  };
+
   /// Resumes runnable lanes to their next suspension; reports terminations.
   bool ResumePhase(std::uint64_t now);
+  /// Replays a consumed speculation as this turn's resume phase.
+  bool CommitSpeculation(std::uint64_t now);
+  /// Selects the next issue group from pending_lanes_[0..remaining) into
+  /// group_, compacting the rest in place (shared by ProcessPhase and the
+  /// speculative precompute, which must see the identical partition).
+  DeviceOp::Kind SelectIssueGroup(std::size_t& remaining);
+  /// Walks the issue-group partition of the just-speculated pending ops and
+  /// coalesces every global-memory group's sectors ahead of commit.
+  void PrecomputeIssueSectors();
+  /// Appends one precomputed entry for group_ (accesses_ already built).
+  void EmitSpecSectors(DeviceOp::Kind kind, std::uint64_t total_bytes);
+  /// The cached entry for the group about to issue, or null when no valid
+  /// precomputed entry exists (caller coalesces inline). Mutable so the
+  /// caller can swap the sector list into sectors_, keeping every
+  /// downstream consumer (stats, memsys, trace records) on one buffer.
+  SpecSectors* ConsumeSpecSectors(DeviceOp::Kind kind,
+                                  std::uint64_t total_bytes);
+  /// The per-lane resume step of ResumePhase (eligibility + watchdog).
+  void TryResumeLane(Lane& lane, std::uint64_t now, bool& resumed_any);
+  /// Resumes `lane` (unconditionally) through any HostFence hops.
+  void ResumeLaneInline(Lane& lane, std::uint64_t now, bool& resumed_any);
+  /// Termination bookkeeping for a lane whose root coroutine completed.
+  void FinishLane(Lane& lane, std::uint64_t now);
   /// Issues all pending op groups in program order; returns the final time.
   std::uint64_t ProcessPhase(std::uint64_t now, bool& processed_any);
 
@@ -84,6 +153,25 @@ class Warp {
   std::vector<std::uint64_t> shared_addrs_;
 
   std::uint64_t queued_wake_ = kNoQueuedWake;
+
+  // Speculation slot: one per warp, filled by SpeculativeResume on the
+  // warp's shard thread, consumed by the next Turn on the commit thread
+  // (the thread-pool join between the two phases orders the hand-off).
+  bool spec_valid_ = false;
+  bool spec_resumed_any_ = false;
+  std::uint64_t spec_t_ = 0;
+  std::uint64_t spec_seq_ = 0;
+  std::vector<SpecOutcome> spec_outcome_;
+
+  // Precomputed coalescing for the speculated turn (entries are reused
+  // across rounds; count_/next_ bound the valid/consumed range). Valid only
+  // when the speculative pass ran to completion with no fence stop — a
+  // fence's commit-side continuation can add pending ops, changing the
+  // partition.
+  bool spec_sectors_valid_ = false;
+  std::size_t spec_sectors_count_ = 0;
+  std::size_t spec_sectors_next_ = 0;
+  std::vector<SpecSectors> spec_sectors_;
 };
 
 }  // namespace dgc::sim

@@ -81,6 +81,54 @@ Status ThreadPool::RunAll(std::vector<std::function<void()>> jobs) {
   return Status::Ok();
 }
 
+Status ThreadPool::RunAllParticipating(std::vector<std::function<void()>> jobs) {
+  if (jobs.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "ThreadPool::RunAllParticipating: no jobs to run");
+  }
+  for (const auto& job : jobs) {
+    if (job == nullptr) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "ThreadPool::RunAllParticipating: null job");
+    }
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(jobs.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& job : jobs) {
+      std::packaged_task<void()> task(std::move(job));
+      futures.push_back(task.get_future());
+      queue_.push_back(std::move(task));
+    }
+  }
+  cv_.notify_all();
+  // Help: drain the queue on this thread until it is empty. The caller may
+  // run tasks from other batches sharing the pool — that only accelerates
+  // them — and cannot block: anything still queued is runnable right here.
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+  // Tasks picked up by workers may still be in flight; wait on the batch.
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return Status::Ok();
+}
+
 Status ParallelFor(std::size_t count, unsigned threads,
                    const std::function<void(std::size_t)>& body) {
   if (count == 0) {
@@ -89,17 +137,22 @@ Status ParallelFor(std::size_t count, unsigned threads,
   if (body == nullptr) {
     return Status(ErrorCode::kInvalidArgument, "ParallelFor: null body");
   }
-  if (threads <= 1) {
+  const unsigned concurrency = unsigned(std::min<std::size_t>(threads, count));
+  if (concurrency <= 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return Status::Ok();
   }
-  ThreadPool pool(unsigned(std::min<std::size_t>(threads, count)));
+  // concurrency - 1 workers; the caller is the final lane. Participation
+  // (rather than idle waiting) is what makes nesting safe: a body that
+  // itself fans out, or a ParallelFor issued from another pool's worker,
+  // always has at least its own thread making progress.
+  ThreadPool pool(concurrency - 1);
   std::vector<std::function<void()>> jobs;
   jobs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     jobs.push_back([&body, i] { body(i); });
   }
-  return pool.RunAll(std::move(jobs));
+  return pool.RunAllParticipating(std::move(jobs));
 }
 
 }  // namespace dgc

@@ -43,7 +43,19 @@ class ThreadPool {
   /// batch or a null job is rejected with kInvalidArgument before anything
   /// runs. If jobs throw, every job still runs to completion and then the
   /// exception of the smallest-index throwing job is rethrown.
+  ///
+  /// The caller only waits — a pool worker calling RunAll on its own pool
+  /// deadlocks when no other worker is free. Nested use must go through
+  /// RunAllParticipating.
   Status RunAll(std::vector<std::function<void()>> jobs);
+
+  /// RunAll, with the calling thread draining the queue alongside the
+  /// workers until its batch is done. Progress is guaranteed even when
+  /// every worker is busy (or the pool is the caller's own): the caller
+  /// itself runs whatever is still queued. This is the nested-submission
+  /// path — a sweep worker fanning an intra-launch shard batch into a pool
+  /// must use it. Validation and exception semantics match RunAll.
+  Status RunAllParticipating(std::vector<std::function<void()>> jobs);
 
  private:
   void WorkerLoop();
@@ -57,10 +69,12 @@ class ThreadPool {
 
 /// Runs body(0), ..., body(count-1) to completion. `threads` <= 1 executes
 /// inline in index order (no pool, no extra threads — bit-for-bit today's
-/// serial behaviour); otherwise a temporary ThreadPool runs the calls
-/// concurrently. Rejects count == 0 with kInvalidArgument. Exceptions
-/// propagate as in ThreadPool::RunAll (inline mode throws at the first
-/// failing index).
+/// serial behaviour); otherwise min(threads, count) - 1 temporary workers
+/// plus the calling thread run the calls concurrently
+/// (RunAllParticipating), so calling from inside another pool's worker can
+/// never deadlock and never idles the caller. Rejects count == 0 with
+/// kInvalidArgument. Exceptions propagate as in ThreadPool::RunAll (inline
+/// mode throws at the first failing index).
 Status ParallelFor(std::size_t count, unsigned threads,
                    const std::function<void(std::size_t)>& body);
 

@@ -57,12 +57,17 @@ struct PanelRender {
   std::vector<std::string> sidecars;  ///< dgc-metrics-v1 per ran point
 };
 
-PanelRender RunPanel(std::uint32_t jobs, bool fast_path) {
+PanelRender RunPanel(std::uint32_t jobs, bool fast_path,
+                     unsigned launch_threads = 1) {
   apps::RegisterAllApps();
   const bool was = sim::SetCoalesceFastPath(fast_path);
   SweepOptions options;
   options.jobs = jobs;
-  auto series = RunSweeps(SmallFig6aConfigs(), options);
+  auto configs = SmallFig6aConfigs();
+  for (ExperimentConfig& config : configs) {
+    config.launch_threads = launch_threads;
+  }
+  auto series = RunSweeps(configs, options);
   sim::SetCoalesceFastPath(was);
   EXPECT_TRUE(series.ok()) << series.status().ToString();
   PanelRender render;
@@ -106,6 +111,34 @@ TEST(PerfDeterminism, ScalarPathUnderParallelJobsStillIdentical) {
   ASSERT_EQ(reference.sidecars.size(), crossed.sidecars.size());
   for (std::size_t i = 0; i < reference.sidecars.size(); ++i) {
     EXPECT_EQ(reference.sidecars[i], crossed.sidecars[i]) << "sidecar " << i;
+  }
+}
+
+TEST(PerfDeterminism, LaunchThreadsMatrixIsByteIdentical) {
+  // The intra-launch sharding axis, crossed with sweep-level parallelism
+  // and both coalescer implementations: --launch-threads {1,2,8} x
+  // --jobs {1,8} x {fast,scalar} must all render the reference CSV and
+  // dgc-metrics-v1 sidecars byte for byte. This is the tentpole's
+  // acceptance bar — the speculate-then-commit engine may only change
+  // wall-clock, never output.
+  const PanelRender reference =
+      RunPanel(/*jobs=*/1, /*fast_path=*/true, /*launch_threads=*/1);
+  ASSERT_FALSE(reference.sidecars.empty());
+  for (const unsigned launch_threads : {2u, 8u}) {
+    for (const std::uint32_t jobs : {1u, 8u}) {
+      for (const bool fast_path : {true, false}) {
+        const PanelRender cell = RunPanel(jobs, fast_path, launch_threads);
+        const std::string label =
+            StrFormat("launch_threads=%u jobs=%u %s", launch_threads, jobs,
+                      fast_path ? "fast" : "scalar");
+        EXPECT_EQ(reference.csv, cell.csv) << label;
+        ASSERT_EQ(reference.sidecars.size(), cell.sidecars.size()) << label;
+        for (std::size_t i = 0; i < reference.sidecars.size(); ++i) {
+          EXPECT_EQ(reference.sidecars[i], cell.sidecars[i])
+              << label << " sidecar " << i;
+        }
+      }
+    }
   }
 }
 

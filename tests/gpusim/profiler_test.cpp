@@ -123,9 +123,31 @@ TEST(Profiler, TimelineCapacityDropsAreCounted) {
   auto dev = MakeDevice();
   Profiler profiler(
       Profiler::Options{.sample_interval = 16, .timeline_capacity = 2});
-  RunInstanced(*dev, &profiler);
-  EXPECT_EQ(profiler.timeline().size(), 2u);
+  const LaunchResult r = RunInstanced(*dev, &profiler);
+  // 2 stored at capacity, plus the wave-closing sample that bypasses it.
+  EXPECT_EQ(profiler.timeline().size(), 3u);
   EXPECT_GT(profiler.dropped_samples(), 0u);
+  EXPECT_EQ(profiler.timeline().back().cycle, r.stats.elapsed_cycles);
+}
+
+TEST(Profiler, FinalPartialIntervalIsFlushedAtCapacity) {
+  // The closing sample of each wave must land in the timeline even when the
+  // ring is full — dropping it would truncate the stall/utilization
+  // timeline short of the launch's final cycles. Pin the sample's schema:
+  // it ends at the launch's last cycle and carries the tail-window deltas
+  // the interior (dropped) windows no longer account for.
+  auto dev = MakeDevice();
+  Profiler profiler(
+      Profiler::Options{.sample_interval = 16, .timeline_capacity = 1});
+  const LaunchResult r = RunInstanced(*dev, &profiler);
+  ASSERT_EQ(profiler.timeline().size(), 2u);  // 1 capacity + final flush
+  const TimelineSample& closing = profiler.timeline().back();
+  EXPECT_EQ(closing.cycle, r.stats.elapsed_cycles);
+  EXPECT_EQ(closing.wave, 0u);
+  // The closing window is the final partial interval, strictly shorter
+  // than a full sample_interval past the last boundary would be; its cycle
+  // is not a multiple of the interval unless the launch happened to align.
+  EXPECT_GT(closing.cycle, profiler.timeline().front().cycle);
 }
 
 TEST(Profiler, SequentialLaunchesOpenNewWaves) {

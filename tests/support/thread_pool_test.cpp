@@ -117,5 +117,54 @@ TEST(ThreadPool, ParallelForInlineModeThrowsAtFirstFailingIndex) {
   EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3}));
 }
 
+// --- Nested submission (the sweep-worker-runs-a-threaded-launch shape) -----
+
+TEST(ThreadPool, NestedRunAllParticipatingFromOwnWorkerCompletes) {
+  // Regression: a pool worker fanning a batch back into its own pool. With
+  // plain RunAll this deadlocks on a single-worker pool — the worker waits
+  // for jobs only it could run. RunAllParticipating drains the queue on
+  // the calling (worker) thread, so the batch completes regardless of how
+  // many workers are free.
+  ThreadPool pool(1);
+  std::atomic<int> inner_runs{0};
+  auto outer = pool.Submit([&] {
+    std::vector<std::function<void()>> inner;
+    for (int i = 0; i < 4; ++i) {
+      inner.push_back([&] { inner_runs.fetch_add(1); });
+    }
+    const Status status = pool.RunAllParticipating(std::move(inner));
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  });
+  outer.get();
+  EXPECT_EQ(inner_runs.load(), 4);
+}
+
+TEST(ThreadPool, ParallelForFromInsidePoolWorkerCompletes) {
+  // ParallelFor spawns its own temporary participating crew, so calling it
+  // from another pool's worker must neither deadlock nor idle the caller.
+  ThreadPool pool(1);
+  std::atomic<int> hits{0};
+  auto outer = pool.Submit([&] {
+    const Status status =
+        ParallelFor(16, 4, [&](std::size_t) { hits.fetch_add(1); });
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  });
+  outer.get();
+  EXPECT_EQ(hits.load(), 16);
+}
+
+TEST(ThreadPool, NestedParticipatingBatchesPropagateExceptions) {
+  ThreadPool pool(1);
+  auto outer = pool.Submit([&] {
+    std::vector<std::function<void()>> inner;
+    inner.push_back([] {});
+    inner.push_back([]() -> void { throw std::runtime_error("inner boom"); });
+    EXPECT_THROW(
+        { (void)pool.RunAllParticipating(std::move(inner)); },
+        std::runtime_error);
+  });
+  outer.get();
+}
+
 }  // namespace
 }  // namespace dgc

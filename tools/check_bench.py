@@ -4,6 +4,8 @@
 Usage:
     check_bench.py BASELINE_JSON RESULT_JSON [--key release_lto]
                    [--tolerance PCT]
+    check_bench.py BASELINE_JSON RESULT_JSON \
+        --ratio-benchmark BM_EnsembleLaunchXsbenchThreaded --ratio-max 1.10
 
 BASELINE_JSON is the repo's BENCH_sim_speed.json (schema dgc-bench-v1).
 RESULT_JSON is `micro_benchmarks --benchmark_format=json` output; aggregate
@@ -17,6 +19,15 @@ re-pinned — a drifting baseline silently widens the window a real
 regression can hide in. Exit code is 1 if any point is out of tolerance,
 else 0. Pass --allow-faster to accept improvements without failing (e.g.
 on a one-off machine faster than the pinned reference).
+
+--ratio-benchmark gates a second benchmark RELATIVE to the baseline
+benchmark within the SAME result file, point by point: measured ratio
+(ratio_benchmark / baseline_benchmark) must stay <= --ratio-max. This is
+how the threaded launch engine is gated: absolute times vary wildly
+across runner hardware, but the ratio contract is host-aware — CI passes
+a ratio-max below 1.0 on multi-core runners (the overlap must win) and a
+small tolerance above 1.0 on single-core runners, where SpecTeam spawns
+no workers and the windowed engine may only cost bounded overhead.
 """
 
 import argparse
@@ -52,6 +63,33 @@ def load_results(path, bench_name):
     return medians if medians else plain
 
 
+def ratio_gate(args, bench_name, serial_results):
+    """Point-by-point relative gate: ratio benchmark vs baseline benchmark."""
+    ratio_results = load_results(args.results, args.ratio_benchmark)
+    if not ratio_results:
+        sys.exit(f"error: no '{args.ratio_benchmark}' rows in {args.results}")
+    print(f"{args.ratio_benchmark} vs {bench_name} in {args.results} "
+          f"(max ratio {args.ratio_max:.2f})")
+    failed = []
+    for arg in sorted(ratio_results, key=int):
+        if arg not in serial_results:
+            print(f"  /{arg}: no matching {bench_name} point, skipped")
+            continue
+        ratio = ratio_results[arg] / serial_results[arg]
+        verdict = "ok" if ratio <= args.ratio_max else "FAIL"
+        if ratio > args.ratio_max:
+            failed.append(arg)
+        print(f"  /{arg}: serial={serial_results[arg]:.2f}ms "
+              f"threaded={ratio_results[arg]:.2f}ms ratio={ratio:.3f} "
+              f"{verdict}")
+    if failed:
+        print(f"FAIL: {len(failed)} point(s) above ratio "
+              f"{args.ratio_max:.2f}: {', '.join('/' + a for a in failed)}")
+        return 1
+    print("PASS")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -65,6 +103,13 @@ def main():
                     help="report out-of-tolerance improvements without "
                          "failing (default: fail so the baseline is "
                          "re-pinned)")
+    ap.add_argument("--ratio-benchmark", default=None,
+                    help="gate this benchmark's time relative to the "
+                         "baseline benchmark in the same result file "
+                         "instead of against the pinned table")
+    ap.add_argument("--ratio-max", type=float, default=1.0,
+                    help="maximum allowed (ratio benchmark / baseline "
+                         "benchmark) per point (default: %(default)s)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -79,6 +124,9 @@ def main():
     results = load_results(args.results, bench_name)
     if not results:
         sys.exit(f"error: no '{bench_name}' rows in {args.results}")
+
+    if args.ratio_benchmark:
+        return ratio_gate(args, bench_name, results)
 
     regressed = []
     stale = []

@@ -183,6 +183,7 @@ int RunSweepMode(const std::string& app,
   std::string inject;
   std::int64_t watchdog = 0, instance_watchdog = 0;
   std::int64_t retry = 1, retry_shrink = 2;
+  std::int64_t launch_threads = 1;
   std::string share_data = "on";
   ArgParser parser("ensemble sweep (Fig. 6 methodology)");
   parser.AddString("file", 'f', "command line arguments file", &file,
@@ -203,7 +204,11 @@ int RunSweepMode(const std::string& app,
       .AddString("share-data", 0,
                  "share read-only input data across identical instances "
                  "(on|off, default on)",
-                 &share_data);
+                 &share_data)
+      .AddInt("launch-threads", 0,
+              "host threads simulating each launch (deterministic; 1 = "
+              "serial)",
+              &launch_threads);
   const Status parsed = parser.Parse(loader_args);
   if (!parsed.ok()) {
     std::fprintf(stderr, "dgc-run: %s\n", parsed.ToString().c_str());
@@ -214,7 +219,8 @@ int RunSweepMode(const std::string& app,
     return 2;
   }
   if (threads <= 0 || per_block <= 0 || watchdog < 0 ||
-      instance_watchdog < 0 || retry <= 0 || retry_shrink < 0) {
+      instance_watchdog < 0 || retry <= 0 || retry_shrink < 0 ||
+      launch_threads <= 0) {
     std::fprintf(stderr, "dgc-run: counts must be positive\n");
     return 2;
   }
@@ -258,6 +264,7 @@ int RunSweepMode(const std::string& app,
   cfg.max_attempts = std::uint32_t(retry);
   cfg.retry_shrink = std::uint32_t(retry_shrink);
   cfg.share_data = share_data == "on";
+  cfg.launch_threads = unsigned(launch_threads);
   cfg.profile = profile || !metrics_prefix.empty();
   cfg.profile_interval = profile_interval;
 
@@ -342,7 +349,12 @@ int main(int argc, char** argv) {
         "                 (default 2)\n"
         "  --share-data <on|off>  share read-only input segments across\n"
         "                 instances with identical workloads (default on;\n"
-        "                 off reproduces the duplicated per-instance layout)\n\n"
+        "                 off reproduces the duplicated per-instance layout)\n"
+        "  --launch-threads <n>  host threads simulating each launch wave\n"
+        "                 (default 1 = serial engine). Deterministic: stats,\n"
+        "                 metrics JSON, and traces are byte-identical for\n"
+        "                 every value; falls back to serial per launch when\n"
+        "                 --inject is active or blocks have several warps\n\n"
         "tool options (must precede the loader options):\n"
         "  --device <d>   a100 (default), v100, or test\n"
         "  --memory-scale <n>  capacity scale divisor (default 512)\n"
