@@ -220,6 +220,68 @@ BENCHMARK(BM_EnsembleLaunchXsbenchThreaded)
     ->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
+/// Multi-warp speed gate: AMGmk ensembles at fig6b scale-down. With
+/// thread_limit 64 every block holds two warps, so this series exercises
+/// the paths the xsbench gate cannot: intra-block barriers, shared-memory
+/// conflict modelling, and the earliest-block-event speculation rule.
+void BM_EnsembleLaunchAmgmk(benchmark::State& state) {
+  apps::RegisterAllApps();
+  const int instances = int(state.range(0));
+  for (auto _ : state) {
+    sim::Device device(sim::DeviceSpec::TestDevice());
+    dgcf::RpcHost rpc(device);
+    dgcf::DeviceLibc libc(device);
+    dgcf::AppEnv env{&device, &rpc, &libc};
+    ensemble::EnsembleOptions opt;
+    opt.app = "amgmk";
+    for (int i = 0; i < instances; ++i) {
+      opt.instance_args.push_back({"-x", "8", "-y", "8", "-z", "8", "-w", "2",
+                                   "-s", StrFormat("%d", i + 1)});
+    }
+    opt.thread_limit = 64;
+    auto run = ensemble::RunEnsemble(env, opt);
+    benchmark::DoNotOptimize(run->kernel_cycles);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * instances);
+}
+BENCHMARK(BM_EnsembleLaunchAmgmk)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+/// The multi-warp launch through the windowed speculate-then-commit
+/// engine. Before the earliest-block-event rule this configuration fell
+/// back to the serial engine, so this series is the regression gate for
+/// the multi-warp speculation ceiling; the CI ratio contract is the same
+/// host-aware one as the xsbench threaded series.
+void BM_EnsembleLaunchAmgmkThreaded(benchmark::State& state) {
+  apps::RegisterAllApps();
+  const int instances = int(state.range(0));
+  for (auto _ : state) {
+    sim::Device device(sim::DeviceSpec::TestDevice());
+    dgcf::RpcHost rpc(device);
+    dgcf::DeviceLibc libc(device);
+    dgcf::AppEnv env{&device, &rpc, &libc};
+    ensemble::EnsembleOptions opt;
+    opt.app = "amgmk";
+    for (int i = 0; i < instances; ++i) {
+      opt.instance_args.push_back({"-x", "8", "-y", "8", "-z", "8", "-w", "2",
+                                   "-s", StrFormat("%d", i + 1)});
+    }
+    opt.thread_limit = 64;
+    opt.launch_threads = 4;
+    auto run = ensemble::RunEnsemble(env, opt);
+    benchmark::DoNotOptimize(run->kernel_cycles);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * instances);
+}
+BENCHMARK(BM_EnsembleLaunchAmgmkThreaded)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -314,6 +314,7 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
   std::int64_t watchdog = 0, instance_watchdog = 0;
   std::int64_t retry = 1, retry_shrink = 2;
   std::int64_t launch_threads = 1;
+  std::int64_t launch_window = 0;
   std::string share_data = "on";
   ArgParser parser("GPU ensemble loader (paper Fig. 5c)");
   parser.AddString("file", 'f', "command line arguments file", &file,
@@ -342,7 +343,11 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
       .AddInt("launch-threads", 0,
               "host threads simulating each launch (deterministic; 1 = "
               "serial)",
-              &launch_threads);
+              &launch_threads)
+      .AddInt("launch-window", 0,
+              "speculation window in cycles for the threaded engine "
+              "(0 = engine default; any value is byte-identical)",
+              &launch_window);
   DGC_RETURN_IF_ERROR(parser.Parse(argv));
   if (share_data != "on" && share_data != "off") {
     return Status(ErrorCode::kInvalidArgument,
@@ -362,6 +367,10 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
     return Status(ErrorCode::kInvalidArgument,
                   "--launch-threads must be positive");
   }
+  if (launch_window < 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "--launch-window must be >= 0 (0 = engine default)");
+  }
 
   EnsembleOptions options;
   options.app = app;
@@ -378,6 +387,7 @@ StatusOr<dgcf::RunResult> RunEnsembleCli(dgcf::AppEnv& env,
   options.retry_shrink = std::uint32_t(retry_shrink);
   options.share_data = share_data == "on";
   options.launch_threads = unsigned(launch_threads);
+  options.launch_window_cycles = std::uint64_t(launch_window);
 
   // Validate (and build) the fault plan before touching the argument file:
   // a bad --inject spec is a usage error and must fail before any work. A

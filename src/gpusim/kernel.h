@@ -56,9 +56,10 @@ struct LaunchConfig {
   /// run the resume half of upcoming turns inside a bounded cycle window,
   /// while a single commit thread replays every event in exact serial
   /// order — stats, metrics JSON, and traces are byte-identical for every
-  /// value. Clamped to the SM count; falls back to 1 thread when a fault
-  /// plan is installed or blocks have more than one warp (see
-  /// launch_context.cpp).
+  /// value. Clamped to the SM count. Multi-warp blocks speculate too (one
+  /// in-flight turn per block per round — the walker's earliest-block-event
+  /// rule); with a fault plan installed only turns with a pending trap
+  /// site serialize (see launch_context.cpp / Warp::CanSpeculate).
   unsigned launch_threads = 1;
   /// Cycle-window length for the threaded engine (how far ahead of the
   /// commit frontier speculation may run). 0 picks the default (2048).

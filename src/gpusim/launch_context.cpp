@@ -68,14 +68,12 @@ Status LaunchContext::Run() {
 
 unsigned LaunchContext::EffectiveLaunchThreads() const {
   unsigned threads = config.launch_threads;
-  // Shards partition SMs, so more threads than SMs cannot help.
+  // Shards partition SMs, so more threads than SMs cannot help. Multi-warp
+  // blocks and fault plans no longer force a serial fallback: the walker's
+  // earliest-block-event rule makes multi-warp speculation safe, and fault
+  // plans serialize only the turns with a pending trap site
+  // (Warp::CanSpeculate is trap-site-aware).
   threads = std::min(threads, unsigned(spec.num_sms));
-  // Fault plans consume injection state at turn start, in commit order
-  // only — serial engine. Multi-warp blocks admit cross-warp mutation
-  // inside a window (Warp::CanSpeculate), so threading would be pure
-  // overhead there; fall back as well.
-  if (config.faults != nullptr) return 1;
-  if (warps_per_block_ > 1) return 1;
   return std::max(threads, 1u);
 }
 
@@ -102,22 +100,34 @@ void LaunchContext::DrainEventsThreaded(unsigned threads) {
   std::vector<Engine::Event> window;
   std::vector<std::vector<Engine::Event>> shards(threads);
   std::vector<std::uint64_t> shard_specs(threads);
+  // Shard-local commit: each worker charges its speculated turns'
+  // partition-derived counters into its own bucket, written only inside
+  // team.Run() (a full barrier), so there is never concurrent access. The
+  // buckets are folded into the launch totals once, in shard order, after
+  // the drain — every counter is a sum, so the fold order does not affect
+  // the result, and the serial totals are reproduced exactly. Disabled
+  // under a profiler: per-instance attribution needs each bump in its
+  // instance bucket, which only the commit turn can select.
+  std::vector<LaunchStats> shard_stats(profiler == nullptr ? threads : 0);
   std::uint64_t round_stamp = 0;
-  // The per-round fan-out: shard s's worker speculatively resumes each of
-  // its warps once (the warp's earliest queued event; the stamp dedups
-  // later ones). No engine, memsys, stats, or profiler state is touched
+  // The per-round fan-out: shard s's worker walks its (t, seq)-sorted
+  // events and speculatively resumes each *block's* earliest one (the
+  // per-block stamp dedups later same-block events — with sibling warps a
+  // later event's state could otherwise be mutated by the earlier commit).
+  // No engine, memsys, launch-global stats, or profiler state is touched
   // here — those stay commit-thread-only. The team's workers persist
   // across rounds and windows, parked on an atomic generation counter:
   // rounds are microseconds of work, so handing them to a mutex/condvar
   // pool would cost more than it distributes (see spec_team.h).
   SpecTeam team(threads - 1, threads, [&](unsigned s) {
     std::uint64_t specs = 0;
+    LaunchStats* bucket = shard_stats.empty() ? nullptr : &shard_stats[s];
     for (const Engine::Event& ev : shards[s]) {
-      Warp* warp = ev.warp;
-      if (warp->spec_window_stamp == round_stamp) continue;
-      warp->spec_window_stamp = round_stamp;
-      if (!warp->CanSpeculate()) continue;
-      warp->SpeculativeResume(ev.t, ev.seq);
+      Block* block = ev.warp->block();
+      if (block->spec_round_stamp == round_stamp) continue;
+      block->spec_round_stamp = round_stamp;
+      if (!ev.warp->CanSpeculate(ev.t)) continue;
+      ev.warp->SpeculativeResume(ev.t, ev.seq, bucket);
       ++specs;
     }
     shard_specs[s] = specs;
@@ -175,6 +185,12 @@ void LaunchContext::DrainEventsThreaded(unsigned threads) {
         engine.RunOne();
       }
     }
+  }
+  // Fold the shard buckets (spec-time charges) into the launch totals.
+  // Buckets carry elapsed_cycles = 0, so AccumulateSequential adds pure
+  // counters; Run() stamps elapsed/blocks afterward as usual.
+  for (const LaunchStats& bucket : shard_stats) {
+    stats.AccumulateSequential(bucket);
   }
 }
 

@@ -37,10 +37,12 @@ struct LaunchContext {
   ///
   /// With config.launch_threads > 1 the run is windowed: each iteration
   /// snapshots the queued events inside the next cycle window, shard
-  /// workers (SMs partitioned by id) speculatively resume each warp's
-  /// earliest event, and the commit thread then replays the window's
-  /// events in exact (cycle, insertion-seq) order — the deterministic
-  /// merge barrier. Output is byte-identical to launch_threads == 1.
+  /// workers (SMs partitioned by id) speculatively resume each *block's*
+  /// earliest event — charging the turn's partition-derived counters into
+  /// a shard-local bucket — and the commit thread then replays the
+  /// window's events in exact (cycle, insertion-seq) order — the
+  /// deterministic merge barrier. Output is byte-identical to
+  /// launch_threads == 1.
   Status Run();
 
   void OnBlockFinished(Block* block, std::uint64_t now);

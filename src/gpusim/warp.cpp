@@ -77,10 +77,12 @@ void Warp::Turn(std::uint64_t now) {
   }
   bool resumed_any;
   if (spec_valid_) {
-    // Adopt the speculative resume. It was taken against this warp's
-    // earliest queued event, and nothing can enqueue an earlier one for a
-    // single-warp block, so the first dispatch after speculation is always
-    // the speculated event itself.
+    // Adopt the speculative resume. It was taken against the block's
+    // earliest queued event (the walker's per-round block stamp enforces
+    // that), and nothing can enqueue an earlier one — barrier releases
+    // need same-block arrivals and the block scheduler only wakes new
+    // blocks — so the first dispatch after speculation is always the
+    // speculated event itself.
     DGC_CHECK(spec_t_ == now &&
               spec_seq_ == lc_->engine.dispatching_seq());
     spec_valid_ = false;
@@ -168,19 +170,24 @@ void Warp::FinishLane(Lane& lane, std::uint64_t now) {
   block_->OnLaneDone(&lane, now);
 }
 
-bool Warp::CanSpeculate() const {
-  // Single-warp blocks only: with sibling warps, an inline commit earlier
-  // in the window (a barrier release, a row-watchdog re-arm, team-state
-  // writes) could mutate this warp's lanes after they were speculated.
-  // With one warp per block every such agent is the warp itself, and the
-  // warp's own first event commits before any of its later activity.
-  // Faults are excluded wholesale: MatchTrap consumes plan state at turn
-  // start, which must happen in commit order (the threaded run loop falls
-  // back to the serial engine when a plan is installed).
-  return block_->warp_count() == 1 && lc_->config.faults == nullptr;
+bool Warp::CanSpeculate(std::uint64_t t) const {
+  // Multi-warp safety comes from the walker, not from here: the per-round
+  // block stamp guarantees only a block's earliest snapshot event is ever
+  // speculated, so no sibling activity (barrier release, shared-memory
+  // allocation, row-watchdog re-arm, team-state writes) can intervene
+  // before adoption. The one remaining exclusion is trap-site-aware: a
+  // turn that would fire MatchTrap at `t` consumes fault-plan state,
+  // which must happen in commit order, so exactly those turns stay
+  // serial. WorkScale and the malloc/rpc ordinals are safe — the former
+  // is const, the latter are consumed at commit time only (HostFence and
+  // host-call issue paths).
+  const FaultPlan* faults = lc_->config.faults;
+  return faults == nullptr ||
+         !faults->HasPendingTrap(block_->id(), warp_id_, t);
 }
 
-void Warp::SpeculativeResume(std::uint64_t t, std::uint64_t seq) {
+void Warp::SpeculativeResume(std::uint64_t t, std::uint64_t seq,
+                             LaunchStats* shard_stats) {
   spec_outcome_.assign(lanes_.size(), SpecOutcome::kUntouched);
   spec_resumed_any_ = false;
   bool at_fence = false;
@@ -227,7 +234,7 @@ void Warp::SpeculativeResume(std::uint64_t t, std::uint64_t seq) {
   if (at_fence) {
     spec_sectors_valid_ = false;
   } else {
-    PrecomputeIssueSectors();
+    PrecomputeIssueSectors(shard_stats);
   }
 }
 
@@ -286,14 +293,18 @@ DeviceOp::Kind Warp::SelectIssueGroup(std::size_t& remaining) {
   return kind;
 }
 
-void Warp::PrecomputeIssueSectors() {
+void Warp::PrecomputeIssueSectors(LaunchStats* bucket) {
   // Runs on the warp's shard thread, after the speculative resume set the
   // turn's pending ops. The partition below replays exactly what the
   // commit turn's ProcessPhase will select (same candidates, same
-  // SelectIssueGroup), so entries can be consumed positionally. Only
-  // sector derivation happens here: it depends on nothing but the ops'
-  // addresses, while functional effects, stats, and memsys charges stay
-  // with the commit thread.
+  // SelectIssueGroup), so entries can be consumed positionally. Sector
+  // derivation happens here because it depends on nothing but the ops'
+  // addresses; with `bucket` set, the partition-derived *counters* are
+  // charged here too (shard-local commit) — they are pure functions of
+  // the ops, independent of memsys/cache state, so charging them into a
+  // per-shard bucket and folding the buckets after the drain reproduces
+  // the serial totals exactly. Functional effects, timing, and the
+  // stateful memsys internals stay with the commit thread.
   spec_sectors_count_ = 0;
   spec_sectors_next_ = 0;
   spec_sectors_valid_ = true;
@@ -304,13 +315,30 @@ void Warp::PrecomputeIssueSectors() {
     pending_lanes_.push_back(&lane);
   }
   std::size_t remaining = pending_lanes_.size();
+  int groups = 0;
   while (remaining != 0) {
     const DeviceOp::Kind kind = SelectIssueGroup(remaining);
+    ++groups;
     switch (kind) {
       case DeviceOp::Kind::kLoad:
       case DeviceOp::Kind::kStore:
       case DeviceOp::Kind::kAtomic: {
-        if (IsSharedAddr(group_.front()->pending.addr)) break;
+        if (IsSharedAddr(group_.front()->pending.addr)) {
+          if (bucket != nullptr) {
+            shared_addrs_.clear();
+            for (Lane* lane : group_) {
+              shared_addrs_.push_back(lane->pending.addr - kSharedBase);
+            }
+            const std::uint32_t degree =
+                std::max(lc_->memsys.SharedConflictDegree(
+                             shared_addrs_, smem_words_scratch_,
+                             smem_bank_scratch_),
+                         1u);
+            bucket->smem_accesses += shared_addrs_.size();
+            bucket->smem_bank_conflicts += degree - 1;
+          }
+          break;
+        }
         accesses_.clear();
         std::uint64_t total_bytes = 0;
         for (Lane* lane : group_) {
@@ -319,6 +347,12 @@ void Warp::PrecomputeIssueSectors() {
           total_bytes += op.bytes;
         }
         EmitSpecSectors(kind, total_bytes);
+        if (bucket != nullptr) {
+          bucket->global_sectors +=
+              spec_sectors_[spec_sectors_count_ - 1].sectors.size();
+          bucket->ideal_sectors +=
+              IdealSectorCountForBytes(total_bytes, lc_->spec.sector_bytes);
+        }
         break;
       }
       case DeviceOp::Kind::kLoadBatch:
@@ -333,11 +367,61 @@ void Warp::PrecomputeIssueSectors() {
           }
         }
         EmitSpecSectors(kind, total_bytes);
+        if (bucket != nullptr) {
+          bucket->global_sectors +=
+              spec_sectors_[spec_sectors_count_ - 1].sectors.size();
+          bucket->ideal_sectors +=
+              IdealSectorCountForBytes(total_bytes, lc_->spec.sector_bytes);
+        }
         break;
       }
+      case DeviceOp::Kind::kWork: {
+        if (bucket != nullptr) {
+          std::uint64_t cycles = 1;
+          for (Lane* lane : group_) {
+            cycles = std::max(cycles, lane->pending.cycles);
+          }
+          if (const FaultPlan* faults = lc_->config.faults) {
+            cycles *= faults->WorkScale(block_->id());
+          }
+          bucket->compute_cycles_issued += cycles;
+        }
+        break;
+      }
+      case DeviceOp::Kind::kExternal:
+        if (bucket != nullptr) bucket->external_calls += group_.size();
+        break;
+      case DeviceOp::Kind::kSync:
+        if (bucket != nullptr) bucket->barrier_arrivals += group_.size();
+        break;
       default:
-        break;  // no coalescing for work/sync/external groups
+        break;
     }
+    if (bucket != nullptr) {
+      ++bucket->warp_instructions;
+      switch (kind) {
+        case DeviceOp::Kind::kWork:
+          ++bucket->compute_instructions;
+          break;
+        case DeviceOp::Kind::kLoad:
+        case DeviceOp::Kind::kLoadBatch:
+          ++bucket->load_instructions;
+          break;
+        case DeviceOp::Kind::kStore:
+        case DeviceOp::Kind::kStoreBatch:
+          ++bucket->store_instructions;
+          break;
+        case DeviceOp::Kind::kAtomic:
+          ++bucket->atomic_instructions;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  if (bucket != nullptr) {
+    if (groups > 1) bucket->divergent_replays += std::uint64_t(groups - 1);
+    spec_stats_charged_ = true;
   }
 }
 
@@ -377,6 +461,11 @@ std::uint64_t Warp::ProcessPhase(std::uint64_t now, bool& processed_any) {
   std::uint64_t t = now;       // final (max) completion
   std::uint64_t issue = now;   // next group's issue time
   int groups = 0;
+  // When the speculated turn already charged its partition-derived
+  // counters into a shard bucket, this commit replay must not charge them
+  // again. The flag is good for exactly one turn (like the sector cache).
+  const bool charge = !spec_stats_charged_;
+  spec_stats_charged_ = false;
   // Candidate lanes are fixed for the whole phase: a lane with a pending op
   // is Ready (blocked lanes surrendered their op at the barrier), issuing a
   // group never hands a new op to another lane, and group order is lane
@@ -400,39 +489,43 @@ std::uint64_t Warp::ProcessPhase(std::uint64_t now, bool& processed_any) {
     // an owning instance, so the leading lane speaks for the group.
     LaunchStats& gstats =
         lc_->IssueStats(block_->id(), group_.front()->thread_id);
-    ++gstats.warp_instructions;
+    if (charge) ++gstats.warp_instructions;
 
     std::uint64_t t_end = issue;
     switch (kind) {
       case DeviceOp::Kind::kWork:
-        ++gstats.compute_instructions;
-        t_end = IssueWorkGroup(group_, issue, gstats);
+        if (charge) ++gstats.compute_instructions;
+        t_end = IssueWorkGroup(group_, issue, gstats, charge);
         break;
       case DeviceOp::Kind::kLoad:
-        ++gstats.load_instructions;
-        t_end = IssueMemoryGroup(group_, /*is_store=*/false, issue, gstats);
+        if (charge) ++gstats.load_instructions;
+        t_end =
+            IssueMemoryGroup(group_, /*is_store=*/false, issue, gstats, charge);
         break;
       case DeviceOp::Kind::kLoadBatch:
-        ++gstats.load_instructions;
-        t_end = IssueBatchGroup(group_, issue, /*is_store=*/false, gstats);
+        if (charge) ++gstats.load_instructions;
+        t_end =
+            IssueBatchGroup(group_, issue, /*is_store=*/false, gstats, charge);
         break;
       case DeviceOp::Kind::kStoreBatch:
-        ++gstats.store_instructions;
-        t_end = IssueBatchGroup(group_, issue, /*is_store=*/true, gstats);
+        if (charge) ++gstats.store_instructions;
+        t_end =
+            IssueBatchGroup(group_, issue, /*is_store=*/true, gstats, charge);
         break;
       case DeviceOp::Kind::kStore:
-        ++gstats.store_instructions;
-        t_end = IssueMemoryGroup(group_, /*is_store=*/true, issue, gstats);
+        if (charge) ++gstats.store_instructions;
+        t_end =
+            IssueMemoryGroup(group_, /*is_store=*/true, issue, gstats, charge);
         break;
       case DeviceOp::Kind::kAtomic:
-        ++gstats.atomic_instructions;
-        t_end = IssueAtomicGroup(group_, issue, gstats);
+        if (charge) ++gstats.atomic_instructions;
+        t_end = IssueAtomicGroup(group_, issue, gstats, charge);
         break;
       case DeviceOp::Kind::kExternal:
-        t_end = IssueExternalGroup(group_, issue, gstats);
+        t_end = IssueExternalGroup(group_, issue, gstats, charge);
         break;
       case DeviceOp::Kind::kSync:
-        IssueSyncGroup(group_, issue);
+        IssueSyncGroup(group_, issue, charge);
         issue += kIssueCycles;
         continue;  // lanes are blocked; no completion time to propagate
       case DeviceOp::Kind::kNone:
@@ -459,7 +552,7 @@ std::uint64_t Warp::ProcessPhase(std::uint64_t now, bool& processed_any) {
     t = std::max(t, t_end);
     issue += kIssueCycles;
   }
-  if (groups > 1) {
+  if (charge && groups > 1) {
     lc_->IssueStats(block_->id(), lanes_.front().thread_id).divergent_replays +=
         std::uint64_t(groups - 1);
   }
@@ -481,7 +574,8 @@ std::uint64_t Warp::ProcessPhase(std::uint64_t now, bool& processed_any) {
 }
 
 std::uint64_t Warp::IssueMemoryGroup(std::span<Lane*> group, bool is_store,
-                                     std::uint64_t t, LaunchStats& stats) {
+                                     std::uint64_t t, LaunchStats& stats,
+                                     bool charge) {
   const bool shared_space = IsSharedAddr(group.front()->pending.addr);
   Memcheck* const memcheck = lc_->config.memcheck;
 
@@ -509,7 +603,9 @@ std::uint64_t Warp::IssueMemoryGroup(std::span<Lane*> group, bool is_store,
     }
   }
 
-  if (shared_space) return lc_->memsys.AccessShared(shared_addrs_, t, stats);
+  if (shared_space) {
+    return lc_->memsys.AccessShared(shared_addrs_, t, stats, charge);
+  }
 
   if (SpecSectors* cached =
           ConsumeSpecSectors(group.front()->pending.kind, total_bytes)) {
@@ -517,14 +613,17 @@ std::uint64_t Warp::IssueMemoryGroup(std::span<Lane*> group, bool is_store,
   } else {
     CoalesceSectors(accesses_, lc_->spec.sector_bytes, sectors_);
   }
-  stats.global_sectors += sectors_.size();
-  stats.ideal_sectors +=
-      IdealSectorCountForBytes(total_bytes, lc_->spec.sector_bytes);
+  if (charge) {
+    stats.global_sectors += sectors_.size();
+    stats.ideal_sectors +=
+        IdealSectorCountForBytes(total_bytes, lc_->spec.sector_bytes);
+  }
   return lc_->memsys.Access(block_->sm()->id(), sectors_, is_store, t, stats);
 }
 
 std::uint64_t Warp::IssueBatchGroup(std::span<Lane*> group, std::uint64_t t,
-                                    bool is_store, LaunchStats& stats) {
+                                    bool is_store, LaunchStats& stats,
+                                    bool charge) {
   // Pipelined independent loads/stores: every slot of every lane coalesces
   // into one stream of sectors that pays bandwidth-serialized service but
   // only one latency trip — the scoreboarded-MLP behaviour of streaming
@@ -557,14 +656,16 @@ std::uint64_t Warp::IssueBatchGroup(std::span<Lane*> group, std::uint64_t t,
   } else {
     CoalesceSectors(accesses_, lc_->spec.sector_bytes, sectors_);
   }
-  stats.global_sectors += sectors_.size();
-  stats.ideal_sectors +=
-      IdealSectorCountForBytes(total_bytes, lc_->spec.sector_bytes);
+  if (charge) {
+    stats.global_sectors += sectors_.size();
+    stats.ideal_sectors +=
+        IdealSectorCountForBytes(total_bytes, lc_->spec.sector_bytes);
+  }
   return lc_->memsys.Access(block_->sm()->id(), sectors_, is_store, t, stats);
 }
 
 std::uint64_t Warp::IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t,
-                                     LaunchStats& stats) {
+                                     LaunchStats& stats, bool charge) {
   Memcheck* const memcheck = lc_->config.memcheck;
   const bool shared_space = IsSharedAddr(group.front()->pending.addr);
   // Functional read-modify-write in lane order (deterministic), fused with
@@ -588,7 +689,7 @@ std::uint64_t Warp::IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t,
   }
   std::uint64_t t_end;
   if (shared_space) {
-    t_end = lc_->memsys.AccessShared(shared_addrs_, t, stats);
+    t_end = lc_->memsys.AccessShared(shared_addrs_, t, stats, charge);
   } else {
     if (SpecSectors* cached =
             ConsumeSpecSectors(DeviceOp::Kind::kAtomic, total_bytes)) {
@@ -596,9 +697,11 @@ std::uint64_t Warp::IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t,
     } else {
       CoalesceSectors(accesses_, lc_->spec.sector_bytes, sectors_);
     }
-    stats.global_sectors += sectors_.size();
-    stats.ideal_sectors +=
-        IdealSectorCountForBytes(total_bytes, lc_->spec.sector_bytes);
+    if (charge) {
+      stats.global_sectors += sectors_.size();
+      stats.ideal_sectors +=
+          IdealSectorCountForBytes(total_bytes, lc_->spec.sector_bytes);
+    }
     t_end = lc_->memsys.Access(block_->sm()->id(), sectors_, /*is_store=*/true,
                                t, stats);
   }
@@ -608,36 +711,39 @@ std::uint64_t Warp::IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t,
 }
 
 std::uint64_t Warp::IssueWorkGroup(std::span<Lane*> group, std::uint64_t t,
-                                   LaunchStats& stats) {
+                                   LaunchStats& stats, bool charge) {
   std::uint64_t cycles = 1;
   for (Lane* lane : group) cycles = std::max(cycles, lane->pending.cycles);
   if (const FaultPlan* faults = lc_->config.faults) {
     // Injected slowdown (e.g. modeling a thermally-throttled block).
     cycles *= faults->WorkScale(block_->id());
   }
-  return block_->sm()->IssueCompute(t, cycles, stats);
+  return block_->sm()->IssueCompute(t, cycles, stats, charge);
 }
 
 std::uint64_t Warp::IssueExternalGroup(std::span<Lane*> group, std::uint64_t t,
-                                       LaunchStats& stats) {
+                                       LaunchStats& stats, bool charge) {
   // Host calls are serviced sequentially by the host RPC thread.
   std::uint64_t t_end = t;
   for (Lane* lane : group) {
     DeviceOp& op = lane->pending;
     lane->pending_result = (*op.external)();
     t_end += std::max<std::uint64_t>(op.cycles, 1);
-    ++stats.external_calls;
+    if (charge) ++stats.external_calls;
   }
   return t_end;
 }
 
-void Warp::IssueSyncGroup(std::span<Lane*> group, std::uint64_t t) {
+void Warp::IssueSyncGroup(std::span<Lane*> group, std::uint64_t t,
+                          bool charge) {
   for (Lane* lane : group) {
     Barrier* barrier = lane->pending.barrier;
     lane->pending = DeviceOp{};
     // Arrivals attribute per lane: with teams packed into one block, lanes
     // of a sync group can belong to different instances.
-    ++lc_->IssueStats(block_->id(), lane->thread_id).barrier_arrivals;
+    if (charge) {
+      ++lc_->IssueStats(block_->id(), lane->thread_id).barrier_arrivals;
+    }
     barrier->Arrive(lane, t, lc_->engine);
   }
 }

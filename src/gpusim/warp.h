@@ -42,26 +42,38 @@ class Warp {
   // The threaded engine snapshots a cycle window of queued events and lets
   // shard workers run the *resume* half of eligible turns ahead of time;
   // the commit thread then replays the window's events in exact serial
-  // order, adopting each speculation instead of resuming again. A warp is
-  // eligible only when its block has a single warp: then every agent that
-  // can mutate the warp between the snapshot and its first dispatch — the
-  // block barrier and row barriers, shared memory, the team state machine,
-  // row watchdogs — is the warp itself, so the state a speculative resume
-  // reads is exactly the state the serial engine would have read.
+  // order, adopting each speculation instead of resuming again. The shard
+  // walker enforces the "earliest block event" rule (one speculation per
+  // block per round, always the block's earliest snapshot event — see
+  // Block::spec_round_stamp): a block's warps all live on one SM and so in
+  // one shard, and nothing can mutate the block between the round snapshot
+  // and the adoption of its earliest event — barrier releases need
+  // same-block arrivals, the block scheduler only wakes *new* blocks, and
+  // other blocks cannot touch this block's lanes, shared allocator, or
+  // watchdog deadlines. So the state a speculative resume reads is exactly
+  // the state the serial engine would have read, for single- and
+  // multi-warp blocks alike.
 
-  /// True when this warp's next dispatched event may be resumed off-thread.
-  bool CanSpeculate() const;
+  /// True when the turn at the queued event time `t` may be resumed
+  /// off-thread. The only per-warp exclusion left is an armed fault plan
+  /// with a pending trap site for this warp at `t`: MatchTrap consumes
+  /// plan state at turn start, which must happen in commit order. Plans
+  /// whose sites are elsewhere (or not yet due) speculate normally.
+  bool CanSpeculate(std::uint64_t t) const;
 
   /// Runs the resume phase for the queued event (`t`, `seq`) — which must
   /// be this warp's earliest undispatched event — recording per-lane
   /// outcomes instead of applying launch-global effects: lane termination
   /// bookkeeping is deferred to the commit turn, and a lane reaching a
   /// HostFence parks there (the remaining lanes stay untouched).
-  void SpeculativeResume(std::uint64_t t, std::uint64_t seq);
-
-  /// Window stamp used by the shard walker to speculate only the warp's
-  /// earliest event per window. Owned by the warp's shard thread.
-  std::uint64_t spec_window_stamp = 0;
+  /// `shard_stats`, when non-null, receives the turn's partition-derived
+  /// counters (instruction/sector/smem/compute-cycle charges) so the
+  /// commit turn can skip them — the caller folds the bucket into the
+  /// launch totals after the drain. Pass null when per-instance
+  /// attribution is on (profiler) so every counter lands in its
+  /// instance bucket at commit as before.
+  void SpeculativeResume(std::uint64_t t, std::uint64_t seq,
+                         LaunchStats* shard_stats);
 
   std::uint32_t id() const { return warp_id_; }
   Block* block() const { return block_; }
@@ -102,9 +114,14 @@ class Warp {
   /// group_, compacting the rest in place (shared by ProcessPhase and the
   /// speculative precompute, which must see the identical partition).
   DeviceOp::Kind SelectIssueGroup(std::size_t& remaining);
-  /// Walks the issue-group partition of the just-speculated pending ops and
-  /// coalesces every global-memory group's sectors ahead of commit.
-  void PrecomputeIssueSectors();
+  /// Walks the issue-group partition of the just-speculated pending ops,
+  /// coalesces every global-memory group's sectors ahead of commit, and —
+  /// when `bucket` is non-null — charges the partition-derived counters
+  /// (warp/kind instructions, global/ideal sectors, smem accesses and
+  /// conflicts, compute cycles, external calls, barrier arrivals,
+  /// divergent replays) into it, setting spec_stats_charged_ so the
+  /// commit turn skips exactly those bumps.
+  void PrecomputeIssueSectors(LaunchStats* bucket);
   /// Appends one precomputed entry for group_ (accesses_ already built).
   void EmitSpecSectors(DeviceOp::Kind kind, std::uint64_t total_bytes);
   /// The cached entry for the group about to issue, or null when no valid
@@ -124,18 +141,23 @@ class Warp {
 
   // Issue helpers charge their counters to `stats` — the launch-global
   // LaunchStats, or the owning instance's bucket when profiling is on
-  // (see LaunchContext::IssueStats).
+  // (see LaunchContext::IssueStats). `charge` is false when the turn's
+  // partition-derived counters were already charged into a shard bucket at
+  // speculation time; functional effects, timing, and the stateful memsys
+  // internals (cache hits/misses, DRAM/queue accounting) are applied
+  // either way.
   std::uint64_t IssueMemoryGroup(std::span<Lane*> group, bool is_store,
-                                 std::uint64_t t, LaunchStats& stats);
+                                 std::uint64_t t, LaunchStats& stats,
+                                 bool charge);
   std::uint64_t IssueBatchGroup(std::span<Lane*> group, std::uint64_t t,
-                                bool is_store, LaunchStats& stats);
+                                bool is_store, LaunchStats& stats, bool charge);
   std::uint64_t IssueAtomicGroup(std::span<Lane*> group, std::uint64_t t,
-                                 LaunchStats& stats);
+                                 LaunchStats& stats, bool charge);
   std::uint64_t IssueWorkGroup(std::span<Lane*> group, std::uint64_t t,
-                               LaunchStats& stats);
+                               LaunchStats& stats, bool charge);
   std::uint64_t IssueExternalGroup(std::span<Lane*> group, std::uint64_t t,
-                                   LaunchStats& stats);
-  void IssueSyncGroup(std::span<Lane*> group, std::uint64_t t);
+                                   LaunchStats& stats, bool charge);
+  void IssueSyncGroup(std::span<Lane*> group, std::uint64_t t, bool charge);
 
   Block* block_;
   std::uint32_t warp_id_;
@@ -151,6 +173,10 @@ class Warp {
   std::vector<std::uint64_t> sectors_;
   std::vector<LaneAccess> accesses_;
   std::vector<std::uint64_t> shared_addrs_;
+  // Scratch for MemorySystem::SharedConflictDegree at speculation time
+  // (shard threads must not use the device-owned AccessShared scratch).
+  std::vector<std::uint64_t> smem_words_scratch_;
+  std::vector<std::uint32_t> smem_bank_scratch_;
 
   std::uint64_t queued_wake_ = kNoQueuedWake;
 
@@ -172,6 +198,11 @@ class Warp {
   std::size_t spec_sectors_count_ = 0;
   std::size_t spec_sectors_next_ = 0;
   std::vector<SpecSectors> spec_sectors_;
+
+  // True when the speculated turn's partition-derived counters were
+  // already charged into a shard-local bucket; the next ProcessPhase
+  // consumes (and clears) it, skipping exactly those bumps.
+  bool spec_stats_charged_ = false;
 };
 
 }  // namespace dgc::sim

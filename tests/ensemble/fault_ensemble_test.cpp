@@ -354,11 +354,12 @@ TEST(FaultSweep, InjectedSweepIsByteIdenticalForAnyJobCount) {
 }
 
 TEST(FaultSweep, LaunchThreadCountNeverChangesInjectedOutcomes) {
-  // Fault plans consume injection state in commit order, so launches with
-  // a plan installed fall back to the serial engine regardless of
-  // --launch-threads (LaunchContext::EffectiveLaunchThreads). The contract
-  // this pins: thread count is invisible in every injected outcome —
-  // which points ran, the notes, and the rendered CSV.
+  // Fault plans consume injection state in commit order. Launches with a
+  // plan installed still run the threaded engine — only turns with a
+  // pending trap site for their (block, warp) serialize (trap-site-aware
+  // Warp::CanSpeculate) — so the plan's consumption order is exactly the
+  // serial one. The contract this pins: thread count is invisible in
+  // every injected outcome — which points ran, the notes, and the CSV.
   auto run_with_launch_threads = [](unsigned launch_threads) {
     ExperimentConfig cfg = FaultSweepConfig();
     cfg.launch_threads = launch_threads;

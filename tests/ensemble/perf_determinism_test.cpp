@@ -49,6 +49,23 @@ std::vector<ExperimentConfig> SmallFig6aConfigs() {
   rs.spec = sim::DeviceSpec::TestDevice();
   rs.profile = true;
   configs.push_back(rs);
+
+  // Multi-warp leg: thread limit 64 puts two warps in every block, so the
+  // launch-threads matrix below also proves the earliest-block-event
+  // speculation rule (barriers, shared memory, sibling-warp state) renders
+  // byte-identical output — the configuration that used to fall back to
+  // the serial engine.
+  ExperimentConfig amg;
+  amg.app = "amgmk";
+  amg.args_for_instance = [](std::uint32_t i) {
+    return std::vector<std::string>{"-x", "8", "-y", "8", "-z", "8",
+                                    "-w", "2", "-s", StrFormat("%u", i + 1)};
+  };
+  amg.instance_counts = {1, 2, 4};
+  amg.thread_limit = 64;
+  amg.spec = sim::DeviceSpec::TestDevice();
+  amg.profile = true;
+  configs.push_back(amg);
   return configs;
 }
 

@@ -7,9 +7,11 @@
 #include <string>
 #include <vector>
 
+#include "gpusim/block.h"
 #include "gpusim/coalesce.h"
 #include "gpusim/ctx.h"
 #include "gpusim/device.h"
+#include "gpusim/faults.h"
 #include "gpusim/trace.h"
 
 namespace dgc::sim {
@@ -121,29 +123,99 @@ TEST(LaunchThreads, ThreadCountsBeyondSmCountClamp) {
   ExpectSameRun(RunMixed(1, 0), RunMixed(64, 0), "threads=64 (clamped)");
 }
 
-TEST(LaunchThreads, MultiWarpBlocksFallBackToSerialEngine) {
-  // Two warps per block are ineligible for speculation (cross-warp barrier
-  // mutation inside a window); the run must silently use the serial engine
-  // and still produce identical output.
-  auto run = [](unsigned threads) {
-    Device dev(DeviceSpec::TestDevice());
-    const int n = 256;
-    auto buf = *dev.Malloc(n * sizeof(double));
-    auto p = buf.Typed<double>();
-    for (int i = 0; i < n; ++i) p[i] = 1.0;
-    LaunchConfig cfg{.grid = {2, 1, 1}, .block = {64, 1, 1}};
-    cfg.launch_threads = threads;
-    auto r = dev.Launch(cfg, [&](ThreadCtx& ctx) -> DeviceTask<void> {
-      const std::uint32_t i = ctx.block_id * ctx.block_threads + ctx.thread_id;
+/// Multi-warp blocks (two warps per 64-thread block) exercising the state
+/// speculation must not corrupt across sibling warps: a shared-memory
+/// reduction through block barriers, shared-bank conflicts, a global
+/// strided phase, and an atomic tail. Optionally runs under a fault plan
+/// (a fresh one per run — consumption counters advance).
+RunDigest RunMultiWarp(unsigned launch_threads, std::uint64_t window_cycles,
+                       const char* fault_spec = nullptr) {
+  Device dev(DeviceSpec::TestDevice());
+  const int blocks = 4, threads = 64, n = 512;
+  auto buf = *dev.Malloc(n * sizeof(double));
+  auto out = *dev.Malloc(std::uint64_t(blocks) * sizeof(double));
+  auto p = buf.Typed<double>();
+  auto po = out.Typed<double>();
+  for (int i = 0; i < n; ++i) p[i] = double(i % 17);
+  for (int b = 0; b < blocks; ++b) po[b] = 0.0;
+
+  FaultPlan plan;
+  if (fault_spec != nullptr) plan = *FaultPlan::Parse(fault_spec);
+
+  Trace trace;
+  LaunchConfig cfg{.grid = {std::uint32_t(blocks), 1, 1},
+                   .block = {std::uint32_t(threads), 1, 1},
+                   .shared_bytes = 64,
+                   .name = "multiwarp"};
+  cfg.trace = &trace;
+  if (fault_spec != nullptr) cfg.faults = &plan;
+  cfg.launch_threads = launch_threads;
+  cfg.launch_window_cycles = window_cycles;
+  auto r = dev.Launch(cfg, [&](ThreadCtx& ctx) -> DeviceTask<void> {
+    auto slot = ctx.block->SharedAt<double>(0);
+    if (ctx.thread_id == 0) co_await ctx.Store(slot, 0.0);
+    co_await ctx.SyncThreads();
+    const std::uint32_t stride = ctx.block_threads * ctx.grid_blocks;
+    double local = 0.0;
+    for (std::uint32_t i = ctx.block_id * ctx.block_threads + ctx.thread_id;
+         i < n; i += stride) {
       const double v = co_await ctx.Load(p + i);
-      co_await ctx.SyncThreads();
-      co_await ctx.Store(p + i, v + double(ctx.thread_id));
-      co_await ctx.Work(25);
-    });
-    EXPECT_TRUE(r.ok());
-    return (*r).stats.ToString() + "@" + std::to_string((*r).cycles);
-  };
-  EXPECT_EQ(run(1), run(8));
+      co_await ctx.Work(2 + (i % 3));
+      co_await ctx.Store(p + i, v + 1.0);
+      local += v;
+    }
+    co_await ctx.AtomicAdd(slot, local);
+    co_await ctx.SyncThreads();
+    if (ctx.thread_id == 0) {
+      const double sum = co_await ctx.Load(slot);
+      co_await ctx.Store(po + ctx.block_id, sum);
+    }
+  });
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+
+  RunDigest digest;
+  digest.cycles = (*r).cycles;
+  digest.stats = (*r).stats.ToString();
+  for (const std::string& f : (*r).failures) digest.stats += "\n" + f;
+  digest.memory.reserve(std::size_t(n + blocks));
+  for (int i = 0; i < n; ++i) digest.memory.push_back(p[i]);
+  for (int b = 0; b < blocks; ++b) digest.memory.push_back(po[b]);
+  digest.trace = trace.events();
+  return digest;
+}
+
+TEST(LaunchThreads, MultiWarpByteIdenticalAcrossThreadCountsAndWindows) {
+  // Sibling warps share Block state (barrier slots, shared memory, the
+  // watchdog): the earliest-block-event rule must keep speculation safe —
+  // and byte-identical — with two warps per block.
+  const RunDigest serial = RunMultiWarp(1, 0);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    for (const std::uint64_t window : {std::uint64_t(1), std::uint64_t(64),
+                                       std::uint64_t(4096)}) {
+      ExpectSameRun(serial, RunMultiWarp(threads, window),
+                    "multiwarp threads=" + std::to_string(threads) +
+                        " window=" + std::to_string(window));
+    }
+  }
+}
+
+TEST(LaunchThreads, FaultPlanSerializesOnlyPendingTrapTurns) {
+  // A trap site far from the launch's start no longer forces the whole
+  // run onto the serial engine: CanSpeculate is trap-site-aware, so only
+  // the victim warp's turns at/after the trap cycle serialize. The trap
+  // must fire identically (count, message, stats) at every thread count.
+  const char* spec = "trap@b1.w1.c400";
+  const RunDigest serial = RunMultiWarp(1, 0, spec);
+  EXPECT_NE(serial.stats.find("block 1"), std::string::npos)
+      << "trap site never fired — the plan no longer matches this kernel";
+  for (const unsigned threads : {2u, 8u}) {
+    for (const std::uint64_t window : {std::uint64_t(64),
+                                       std::uint64_t(4096)}) {
+      ExpectSameRun(serial, RunMultiWarp(threads, window, spec),
+                    "faulted threads=" + std::to_string(threads) +
+                        " window=" + std::to_string(window));
+    }
+  }
 }
 
 }  // namespace

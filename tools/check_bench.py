@@ -3,9 +3,15 @@
 
 Usage:
     check_bench.py BASELINE_JSON RESULT_JSON [--key release_lto]
-                   [--tolerance PCT]
+                   [--tolerance PCT] [--benchmark NAME]
     check_bench.py BASELINE_JSON RESULT_JSON \
         --ratio-benchmark BM_EnsembleLaunchXsbenchThreaded --ratio-max 1.10
+    check_bench.py BASELINE_JSON RESULT_JSON --key amgmk_release_lto \
+        --benchmark BM_EnsembleLaunchAmgmk \
+        --ratio-benchmark BM_EnsembleLaunchAmgmkThreaded --ratio-max 1.10
+
+Both gates echo the baseline's `capture_host_cores` so single-core-capture
+ratio waivers are visible in every gate log.
 
 BASELINE_JSON is the repo's BENCH_sim_speed.json (schema dgc-bench-v1).
 RESULT_JSON is `micro_benchmarks --benchmark_format=json` output; aggregate
@@ -63,13 +69,27 @@ def load_results(path, bench_name):
     return medians if medians else plain
 
 
-def ratio_gate(args, bench_name, serial_results):
+def describe_capture_host(base_doc):
+    """One line documenting the baseline capture host's core count.
+
+    The committed threaded-vs-serial ratios are only meaningful relative
+    to the parallelism of the machine that produced them (a single-core
+    capture can only pin the degradation bound); echoing the count makes
+    every gate log self-documenting instead of relying on the `note`.
+    """
+    cores = base_doc.get("capture_host_cores")
+    if cores is None:
+        return "baseline capture host cores: unrecorded (pre-v10 baseline)"
+    return f"baseline captured on a {int(cores)}-core host"
+
+
+def ratio_gate(args, bench_name, serial_results, base_doc):
     """Point-by-point relative gate: ratio benchmark vs baseline benchmark."""
     ratio_results = load_results(args.results, args.ratio_benchmark)
     if not ratio_results:
         sys.exit(f"error: no '{args.ratio_benchmark}' rows in {args.results}")
     print(f"{args.ratio_benchmark} vs {bench_name} in {args.results} "
-          f"(max ratio {args.ratio_max:.2f})")
+          f"(max ratio {args.ratio_max:.2f}; {describe_capture_host(base_doc)})")
     failed = []
     for arg in sorted(ratio_results, key=int):
         if arg not in serial_results:
@@ -96,6 +116,11 @@ def main():
     ap.add_argument("results")
     ap.add_argument("--key", default="release_lto",
                     help="baseline table to gate against (default: %(default)s)")
+    ap.add_argument("--benchmark", default=None,
+                    help="benchmark series name to gate (default: the "
+                         "baseline's `benchmark` field; needed for the "
+                         "secondary series, e.g. BM_EnsembleLaunchAmgmk "
+                         "with --key amgmk_release_lto)")
     ap.add_argument("--tolerance", type=float, default=None,
                     help="allowed deviation in percent, either direction "
                          "(default: baseline tolerance_pct)")
@@ -116,7 +141,7 @@ def main():
         base_doc = json.load(f)
     if base_doc.get("schema") != "dgc-bench-v1":
         sys.exit(f"error: {args.baseline} is not a dgc-bench-v1 document")
-    bench_name = base_doc["benchmark"]
+    bench_name = args.benchmark or base_doc["benchmark"]
     baseline = base_doc[args.key]
     tol = args.tolerance if args.tolerance is not None \
         else float(base_doc.get("tolerance_pct", 15))
@@ -126,12 +151,13 @@ def main():
         sys.exit(f"error: no '{bench_name}' rows in {args.results}")
 
     if args.ratio_benchmark:
-        return ratio_gate(args, bench_name, results)
+        return ratio_gate(args, bench_name, results, base_doc)
 
     regressed = []
     stale = []
     print(f"{bench_name} vs {args.baseline}:{args.key} "
-          f"(tolerance {tol:.0f}%, either direction)")
+          f"(tolerance {tol:.0f}%, either direction; "
+          f"{describe_capture_host(base_doc)})")
     for arg in sorted(baseline, key=int):
         base = float(baseline[arg])
         if arg not in results:
